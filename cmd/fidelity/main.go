@@ -1,0 +1,191 @@
+// Command fidelity prints the FIdelity framework's derived artifacts for an
+// accelerator design: the Reuse Factor Analysis summary (Table I), the
+// software fault models (Table II), and the Fig 2 worked examples.
+//
+// Usage:
+//
+//	fidelity table1
+//	fidelity table2 [-csv]
+//	fidelity fig2 [-k 4] [-t 16]
+//	fidelity census
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/campaign"
+	"fidelity/internal/core"
+	"fidelity/internal/numerics"
+	"fidelity/internal/report"
+	"fidelity/internal/reuse"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = table1()
+	case "table2":
+		err = table2(args)
+	case "fig2":
+		err = fig2(args)
+	case "census":
+		err = census()
+	case "sensitivity":
+		err = sensitivity(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fidelity:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fidelity <table1|table2|fig2|census|sensitivity> [flags]
+
+  table1       print the Reuse Factor Analysis summary (paper Table I)
+  table2       print the derived NVDLA software fault models (paper Table II)
+  fig2         run the Fig 2 reuse-factor examples (NVDLA-like and Eyeriss-like)
+  census       print the FF census of the NVDLA-small configuration
+  sensitivity  FIT bounds under perturbed FF-count/activeness estimates`)
+}
+
+func framework() (*core.Framework, error) {
+	return core.New(accel.NVDLASmall())
+}
+
+func table1() error {
+	fw, err := framework()
+	if err != nil {
+		return err
+	}
+	fmt.Print(fw.TableI().String())
+	return nil
+}
+
+func table2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fw, err := framework()
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(fw.TableII().CSV())
+	} else {
+		fmt.Print(fw.TableII().String())
+	}
+	return nil
+}
+
+func fig2(args []string) error {
+	fs := flag.NewFlagSet("fig2", flag.ExitOnError)
+	k := fs.Int("k", 4, "NVDLA-like k (k² MACs) / Eyeriss-like array dimension")
+	t := fs.Int("t", 16, "weight hold cycles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tab := report.NewTable(
+		fmt.Sprintf("Fig 2 reuse-factor examples (k=%d, t=%d)", *k, *t),
+		"Target", "Design", "Variable", "RF", "Faulty neuron pattern")
+	add := func(name, design, variable string, in reuse.Input, pattern string) error {
+		r, err := reuse.Analyze(in)
+		if err != nil {
+			return err
+		}
+		tab.Addf("%s|%s|%s|%d|%s", name, design, variable, r.RF, pattern)
+		return nil
+	}
+	k2 := (*k) * (*k)
+	if err := add("a1", "NVDLA-like", "weight", reuse.NVDLATargetA1(*t), "t consecutive neurons, one channel"); err != nil {
+		return err
+	}
+	if err := add("a2", "NVDLA-like", "weight", reuse.NVDLATargetA2(*t), "1..t consecutive neurons (random cycle)"); err != nil {
+		return err
+	}
+	if err := add("a3", "NVDLA-like", "weight", reuse.NVDLATargetA3(), "single neuron"); err != nil {
+		return err
+	}
+	if err := add("a4", "NVDLA-like", "input", reuse.NVDLATargetA4(k2), "same 2D position, k² consecutive channels"); err != nil {
+		return err
+	}
+	if err := add("b1", "Eyeriss-like", "weight", reuse.EyerissTargetB1(*k), "k consecutive rows, one column"); err != nil {
+		return err
+	}
+	if err := add("b2", "Eyeriss-like", "input", reuse.EyerissTargetB2(*k, *t), "k rows × t channels, last column"); err != nil {
+		return err
+	}
+	if err := add("b3", "Eyeriss-like", "bias", reuse.EyerissTargetB3(), "single neuron"); err != nil {
+		return err
+	}
+	fmt.Print(tab.String())
+	return nil
+}
+
+func sensitivity(args []string) error {
+	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
+	net := fs.String("net", "yolo", "workload")
+	samples := fs.Int("samples", 200, "experiments per fault model")
+	ffDelta := fs.Float64("ff", 0.3, "relative uncertainty of the FF-count estimate")
+	actDelta := fs.Float64("act", 0.2, "relative uncertainty of the activeness estimates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := accel.NVDLASmall()
+	fw, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := fw.Analyze(*net, numerics.FP16, campaign.StudyOptions{
+		Samples: *samples, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
+	})
+	if err != nil {
+		return err
+	}
+	lo, hi, err := campaign.SensitivityBounds(cfg, res, *ffDelta, *actDelta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s FP16 @10%%: FIT = %.2f\n", *net, res.FIT.Total)
+	fmt.Printf("sensitivity (FF count ±%.0f%%, activeness ±%.0f%%): FIT in [%.2f, %.2f]\n",
+		*ffDelta*100, *actDelta*100, lo, hi)
+	fmt.Printf("ASIL-D FF budget: %.2f — %s even at the optimistic bound\n",
+		0.2, verdict(lo))
+	return nil
+}
+
+func verdict(lo float64) string {
+	if lo > 0.2 {
+		return "fails"
+	}
+	return "may pass"
+}
+
+func census() error {
+	cfg := accel.NVDLASmall()
+	tab := report.NewTable(
+		fmt.Sprintf("FF census of %s (%d FFs)", cfg.Name, cfg.NumFFs),
+		"Category", "Component", "%FF", "decompress", "FP-only", "INT-only")
+	for _, g := range cfg.Census {
+		tab.Addf("%s|%s|%.1f%%|%.0f%%|%.0f%%|%.0f%%",
+			g.Cat, g.Component, g.Frac*100,
+			g.DecompressFrac*100, g.FPOnlyFrac*100, g.IntOnlyFrac*100)
+	}
+	fmt.Print(tab.String())
+	return nil
+}

@@ -1,0 +1,245 @@
+// Command study reproduces the paper's Sec. V large-scale resilience study
+// and the Sec. VI comparisons on the NVDLA-small configuration.
+//
+// Usage:
+//
+//	study -fig 4  [-samples N] [-inputs N] [-seed S]   # CNN FIT × precision
+//	study -fig 5  ...                                  # Transformer & Yolo × tolerance
+//	study -fig 6  ...                                  # global control protected
+//	study -setup                                       # Table IV experiment setup
+//	study -perturbation ...                            # Key Result 5
+//	study -speedup [-iters N]                          # Sec. VI speedup comparison
+//	study -baseline ...                                # Sec. VI naive-FI underestimate
+//	study -protect ...                                 # selective-protection plan
+//
+// All campaign modes take -workers (parallel injection) and -perlayer
+// (estimate Prob_SWmask per layer — the exact Eq. 2 form). The paper's study
+// is 46M experiments; -samples scales the per-model count (Wilson 95% CIs
+// are reported so the statistical resolution is explicit).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/baseline"
+	"fidelity/internal/campaign"
+	"fidelity/internal/core"
+	"fidelity/internal/fit"
+	"fidelity/internal/model"
+	"fidelity/internal/numerics"
+	"fidelity/internal/report"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "reproduce figure 4, 5, or 6")
+	setup := flag.Bool("setup", false, "print the Table IV experiment setup")
+	perturbation := flag.Bool("perturbation", false, "Key Result 5: perturbation magnitude vs error probability")
+	speedup := flag.Bool("speedup", false, "Sec. VI speedup comparison")
+	naive := flag.Bool("baseline", false, "Sec. VI naive-FI comparison")
+	samples := flag.Int("samples", 400, "injection experiments per fault model per workload")
+	inputs := flag.Int("inputs", 4, "distinct dataset inputs per workload")
+	iters := flag.Int("iters", 200, "timing iterations for -speedup")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel injection workers")
+	perLayer := flag.Bool("perlayer", false, "estimate Prob_SWmask per layer (exact Eq. 2; multiplies experiment count)")
+	protect := flag.Bool("protect", false, "selective-protection plan for yolo (Architectural Insights)")
+	flag.Parse()
+
+	cfg := accel.NVDLASmall()
+	fw, err := core.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	opts := campaign.StudyOptions{
+		Samples: *samples, Inputs: *inputs, Seed: *seed,
+		Workers: *workers, PerLayer: *perLayer,
+	}
+
+	switch {
+	case *setup:
+		printSetup()
+	case *fig == 4:
+		err = fig4(fw, opts)
+	case *fig == 5:
+		err = fig5(fw, opts)
+	case *fig == 6:
+		err = fig6(fw, opts)
+	case *perturbation:
+		err = keyResult5(fw, opts)
+	case *speedup:
+		err = speedupCmp(fw, *iters, *seed)
+	case *naive:
+		err = naiveCmp(fw, cfg, opts)
+	case *protect:
+		err = protectPlan(fw, cfg, opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "study:", err)
+	os.Exit(1)
+}
+
+func printSetup() {
+	t := report.NewTable("Table IV: fault injection experiment setup",
+		"Workload", "Dataset", "Metric", "Precisions")
+	t.Add("inception, resnet, mobilenet", "imagenet-like / cifar10-like", "top-1 label match", "FP16, INT16, INT8")
+	t.Add("transformer", "iwslt-like", "<10%/20% BLEU difference", "FP16")
+	t.Add("yolo", "coco-like", "<10%/20% precision difference", "FP16")
+	fmt.Print(t.String())
+	fmt.Println("platform: pure-Go nn substrate (modified-TensorFlow analog); " +
+		"paper total: 46M experiments, scaled here via -samples")
+}
+
+// fig4: Accelerator FIT for the three CNNs across FP16/INT16/INT8.
+func fig4(fw *core.Framework, opts campaign.StudyOptions) error {
+	var results []*campaign.StudyResult
+	for _, net := range []string{"inception", "resnet", "mobilenet"} {
+		for _, p := range []numerics.Precision{numerics.FP16, numerics.INT16, numerics.INT8} {
+			opts.Tolerance = 0.1
+			r, err := fw.Analyze(net, p, opts)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+			fmt.Printf("  %s/%s: FIT=%.2f (datapath=%.2f local=%.2f global=%.2f), %d experiments\n",
+				r.Workload, r.Precision, r.FIT.Total,
+				r.FIT.ByClass[accel.Datapath], r.FIT.ByClass[accel.LocalControl],
+				r.FIT.ByClass[accel.GlobalControl], r.Experiments)
+		}
+	}
+	fmt.Println()
+	fmt.Print(core.FITChart("Fig 4: Accelerator FIT rate (Inception/ResNet/MobileNet)", results, false).String())
+	return nil
+}
+
+// fig5: Transformer and Yolo under both metric tolerances.
+func fig5(fw *core.Framework, opts campaign.StudyOptions) error {
+	var results []*campaign.StudyResult
+	for _, net := range []string{"transformer", "yolo"} {
+		for _, tol := range []float64{0.1, 0.2} {
+			opts.Tolerance = tol
+			r, err := fw.Analyze(net, numerics.FP16, opts)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+	}
+	fmt.Print(core.FITChart("Fig 5: Accelerator FIT rate (Transformer & Yolo, 10%/20% tolerance)", results, false).String())
+	return nil
+}
+
+// fig6: CNN FIT with all global control FFs protected.
+func fig6(fw *core.Framework, opts campaign.StudyOptions) error {
+	var results []*campaign.StudyResult
+	opts.Tolerance = 0.1
+	for _, net := range []string{"inception", "resnet", "mobilenet"} {
+		r, err := fw.Analyze(net, numerics.FP16, opts)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	fmt.Print(core.FITChart("Fig 6: FIT with global control FFs protected", results, true).String())
+	fmt.Println("note: datapath + local control alone still exceed the 0.2 ASIL-D FF budget (Key Result 2)")
+	return nil
+}
+
+// keyResult5: error probability by perturbation magnitude for single-faulty-
+// neuron experiments on the FP16 CNNs.
+func keyResult5(fw *core.Framework, opts campaign.StudyOptions) error {
+	var small, large campaign.Proportion
+	opts.Tolerance = 0.1
+	for _, net := range []string{"inception", "resnet", "mobilenet"} {
+		r, err := fw.Analyze(net, numerics.FP16, opts)
+		if err != nil {
+			return err
+		}
+		small.Successes += r.Perturb.SmallFail.Successes
+		small.Trials += r.Perturb.SmallFail.Trials
+		large.Successes += r.Perturb.LargeFail.Successes
+		large.Trials += r.Perturb.LargeFail.Trials
+	}
+	t := report.NewTable("Key Result 5: single-faulty-neuron experiments (FP16 CNNs)",
+		"Perturbation", "P(application output error)", "n")
+	t.Add("abs(delta) <= 100", fmt.Sprintf("%.3f", small.Mean()), fmt.Sprintf("%d", small.Trials))
+	t.Add("abs(delta) > 100", fmt.Sprintf("%.3f", large.Mean()), fmt.Sprintf("%d", large.Trials))
+	fmt.Print(t.String())
+	fmt.Println("paper: <4% for small perturbations, >45% for large ones")
+	return nil
+}
+
+func speedupCmp(fw *core.Framework, iters int, seed int64) error {
+	reports, err := fw.Speedup(iters, seed)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Sec. VI: per-injection cost comparison",
+		"Workload", "cycles", "software (s)", "cycle-sim (s)", "RTL est. (s)", "vs RTL", "vs mixed")
+	for _, r := range reports {
+		t.Addf("%s|%d|%.2e|%.2e|%.2e|%.0fx|%.0fx",
+			r.Workload, r.Cycles, r.SoftwareSec, r.MixedSec, r.RTLSec, r.VsRTL, r.VsMixed)
+	}
+	fmt.Print(t.String())
+	fmt.Println("paper: >10000x vs RTL, 40x-2200x vs mixed-mode")
+	return nil
+}
+
+func naiveCmp(fw *core.Framework, cfg *accel.Config, opts campaign.StudyOptions) error {
+	t := report.NewTable("Sec. VI: naive software FI vs FIdelity",
+		"Workload", "naive FIT", "FIdelity FIT", "underestimate")
+	for _, net := range []string{"inception", "resnet", "mobilenet", "yolo", "transformer", "rnn"} {
+		w, err := model.Build(net, numerics.FP16, 42)
+		if err != nil {
+			return err
+		}
+		nb, err := baseline.Run(cfg, w, baseline.Options{
+			Samples: opts.Samples, Inputs: opts.Inputs, Tolerance: 0.1, Seed: opts.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		opts.Tolerance = 0.1
+		st, err := campaign.Study(cfg, w, opts)
+		if err != nil {
+			return err
+		}
+		factor := fmt.Sprintf("%.1fx", baseline.Underestimate(st.FIT.Total, nb))
+		if nb.FIT == 0 {
+			// Zero observed naive failures: report the Wilson-bounded floor.
+			factor = fmt.Sprintf(">%.0fx", baseline.UnderestimateBound(cfg, st.FIT.Total, nb, 0))
+		}
+		t.Addf("%s|%.3f|%.3f|%s", net, nb.FIT, st.FIT.Total, factor)
+	}
+	fmt.Print(t.String())
+	fmt.Println("paper: the naive technique underestimates by up to 25x")
+	return nil
+}
+
+// protectPlan derives the minimal selective-protection scheme for yolo —
+// the paper's Architectural Insights example.
+func protectPlan(fw *core.Framework, cfg *accel.Config, opts campaign.StudyOptions) error {
+	opts.Tolerance = 0.1
+	res, err := fw.Analyze("yolo", numerics.FP16, opts)
+	if err != nil {
+		return err
+	}
+	plan, err := fit.PlanProtection(cfg, res.FIT, fit.FFBudget())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("yolo FP16 @10%%: unprotected FIT = %.2f, budget = %.2f\n", res.FIT.Total, fit.FFBudget())
+	fmt.Println(plan.String())
+	return nil
+}

@@ -1,0 +1,58 @@
+package fidelity_test
+
+import (
+	"fmt"
+
+	"fidelity"
+	"fidelity/internal/reuse"
+)
+
+// ExampleDeriveModels shows the Table II derivation: from a high-level
+// accelerator description to software fault models.
+func ExampleDeriveModels() {
+	models, err := fidelity.DeriveModels(fidelity.NVDLASmall())
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range models {
+		switch {
+		case m.RFAllUsers:
+			fmt.Printf("%v: RF = all users of the value\n", m.ID)
+		case m.RFAll:
+			fmt.Printf("%v: system failure\n", m.ID)
+		default:
+			fmt.Printf("%v: RF = %d\n", m.ID, m.RF)
+		}
+	}
+	// Output:
+	// beforeCBUF/input: RF = all users of the value
+	// beforeCBUF/weight: RF = all users of the value
+	// cbuf2mac/input: RF = 16
+	// cbuf2mac/weight: RF = 16
+	// output/psum: RF = 1
+	// local-control: RF = 1
+	// global-control: system failure
+}
+
+// ExampleAnalyzeReuse runs Algorithm 1 on the paper's Fig 2(a) target a4:
+// an input register broadcast to all 16 multipliers.
+func ExampleAnalyzeReuse() {
+	res, err := fidelity.AnalyzeReuse(reuse.NVDLATargetA4(16))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("RF = %d\n", res.RF)
+	fmt.Printf("first neuron: %v, last neuron: %v\n",
+		res.Faulty[0].Neuron, res.Faulty[len(res.Faulty)-1].Neuron)
+	// Output:
+	// RF = 16
+	// first neuron: (0,0,0,0), last neuron: (0,0,0,15)
+}
+
+// ExampleFFBudget shows the ASIL-D apportioning of Key Result 1.
+func ExampleFFBudget() {
+	fmt.Printf("chip budget %.0f FIT x %.0f%% FF area = %.1f FIT for the FFs\n",
+		10.0, 2.0, fidelity.FFBudget())
+	// Output:
+	// chip budget 10 FIT x 2% FF area = 0.2 FIT for the FFs
+}

@@ -1,0 +1,47 @@
+// Reuse Factor Analysis on a different dataflow (paper Fig 2b): FIdelity is
+// not NVDLA-specific — given the scheduling/reuse description of an
+// Eyeriss-like k×k systolic array, Algorithm 1 derives its reuse factors,
+// and varying (k, t) performs the sensitivity analysis the paper describes
+// for early design exploration.
+//
+//	go run ./examples/eyeriss_analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fidelity"
+	"fidelity/internal/reuse"
+)
+
+func main() {
+	fmt.Println("Fig 2(b): Eyeriss-like systolic array, Reuse Factor Analysis")
+	fmt.Println()
+	fmt.Printf("%-6s %-6s | %-8s %-8s %-8s\n", "k", "t", "b1 (wgt)", "b2 (in)", "b3 (bias)")
+	for _, k := range []int{4, 8, 12, 16} {
+		for _, t := range []int{4, 7, 16} {
+			b1, err := fidelity.AnalyzeReuse(reuse.EyerissTargetB1(k))
+			if err != nil {
+				log.Fatal(err)
+			}
+			b2, err := fidelity.AnalyzeReuse(reuse.EyerissTargetB2(k, t))
+			if err != nil {
+				log.Fatal(err)
+			}
+			b3, err := fidelity.AnalyzeReuse(reuse.EyerissTargetB3())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-6d %-6d | RF=%-5d RF=%-5d RF=%-5d\n", k, t, b1.RF, b2.RF, b3.RF)
+		}
+	}
+	fmt.Println()
+	fmt.Println("b1: a weight flip corrupts k consecutive output rows of one column;")
+	fmt.Println("b2: an input flip corrupts k rows × t channels (diagonal + temporal reuse);")
+	fmt.Println("b3: a bias register feeds one adder — RF = 1.")
+	fmt.Println()
+	fmt.Println("Sensitivity insight: RF grows linearly with the reuse the dataflow")
+	fmt.Println("exploits for energy efficiency — reuse that helps energy hurts the")
+	fmt.Println("blast radius of a single-cycle fault.")
+}

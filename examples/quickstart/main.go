@@ -1,0 +1,51 @@
+// Quickstart: derive the NVDLA software fault models, run a small
+// resilience study on ResNet at FP16, and print the Accelerator FIT rate
+// against the ASIL-D budget.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fidelity"
+)
+
+func main() {
+	// 1. Bind FIdelity to an accelerator design. Everything the framework
+	// needs is high-level: atomics, scheduling parameters, FF census.
+	fw, err := fidelity.New(fidelity.NVDLASmall())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The derived software fault models are the paper's Table II.
+	fmt.Print(fw.TableII().String())
+	fmt.Println()
+
+	// 3. Run a fault-injection study: samples per fault model, rotating
+	// inputs, Top-1 correctness.
+	res, err := fw.Analyze("resnet", fidelity.FP16, fidelity.StudyOptions{
+		Samples:   300,
+		Inputs:    3,
+		Tolerance: 0.1,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:      %s (%s)\n", res.Workload, res.Precision)
+	fmt.Printf("experiments:   %d\n", res.Experiments)
+	for id, p := range res.Masked {
+		fmt.Printf("  Prob_SWmask[%v] = %s\n", id, p)
+	}
+	fmt.Printf("Accelerator FIT rate: %.2f\n", res.FIT.Total)
+	fmt.Printf("ASIL-D FF budget:     %.2f\n", fidelity.FFBudget())
+	if res.FIT.Total > fidelity.FFBudget() {
+		fmt.Println("=> the unprotected design does NOT meet ASIL-D (Key Result 1)")
+	} else {
+		fmt.Println("=> the design meets ASIL-D")
+	}
+}

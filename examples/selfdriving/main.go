@@ -1,0 +1,49 @@
+// Self-driving scenario (paper Key Result 1): can an unprotected
+// NVDLA-class accelerator running the Yolo object detector meet the ISO
+// 26262 ASIL-D budget? The paper measures FIT = 9.5 at the 10%-precision
+// metric against a 0.2 budget for the accelerator's flip-flops.
+//
+//	go run ./examples/selfdriving
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fidelity"
+)
+
+func main() {
+	fw, err := fidelity.New(fidelity.NVDLASmall())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ISO 26262 ASIL-D: chip FIT < 10; accelerator FFs occupy ~2% of")
+	fmt.Printf("the chipset area, so their apportioned budget is %.2f FIT.\n\n", fidelity.FFBudget())
+
+	for _, tol := range []float64{0.1, 0.2} {
+		res, err := fw.Analyze("yolo", fidelity.FP16, fidelity.StudyOptions{
+			Samples:   400,
+			Inputs:    4,
+			Tolerance: tol,
+			Seed:      7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "FAILS"
+		if res.FIT.Total < fidelity.FFBudget() {
+			verdict = "meets"
+		}
+		fmt.Printf("yolo @ %.0f%% precision tolerance:\n", tol*100)
+		fmt.Printf("  FIT = %.2f (datapath %.2f, local %.2f, global %.2f) -> %s ASIL-D\n",
+			res.FIT.Total,
+			res.FIT.ByClass[fidelity.DatapathClass],
+			res.FIT.ByClass[fidelity.LocalControlClass],
+			res.FIT.ByClass[fidelity.GlobalControlClass],
+			verdict)
+		fmt.Printf("  with global control protected: FIT = %.2f\n\n", res.FITProtected.Total)
+	}
+	fmt.Println("Conclusion: DNN error tolerance alone cannot guarantee the")
+	fmt.Println("resilience target; explicit protection is required (Key Results 1-2).")
+}

@@ -1,0 +1,68 @@
+// Broad applicability demo: the same single-cycle FF bit-flip abstraction
+// applied to a second, independently implemented cycle-level design — an
+// output-stationary systolic matmul array (the Fig 2(b) design class).
+// Reuse Factor Analysis predicts RF = k for the streaming registers and
+// RF = 1 for stationary accumulators; the simulation confirms the patterns.
+//
+//	go run ./examples/systolic_array
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/systolic"
+	"fidelity/internal/tensor"
+)
+
+func main() {
+	const k = 4
+	codec := numerics.MustCodec(numerics.FP16, 0)
+	rng := rand.New(rand.NewSource(7))
+	a, b := tensor.New(k, 12), tensor.New(12, k)
+	a.RandNormal(rng, 1)
+	b.RandNormal(rng, 1)
+
+	golden, err := systolic.Run(k, a, b, codec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%dx%d output-stationary array, C = A(%dx%d)·B(%dx%d), %d cycles\n\n",
+		k, k, a.Dim(0), a.Dim(1), b.Dim(0), b.Dim(1), golden.Cycles)
+
+	span := systolic.TileCycles(k, 12)
+	type stat struct{ hits, maxRF int }
+	stats := map[systolic.FF]*stat{
+		systolic.FFARow: {}, systolic.FFBCol: {}, systolic.FFAcc: {},
+	}
+	for ff, st := range stats {
+		for trial := 0; trial < 200; trial++ {
+			f := &systolic.Fault{
+				FF: ff, Row: rng.Intn(k), Col: rng.Intn(k),
+				Bit: 14, Cycle: rng.Int63n(span),
+			}
+			faulty, err := systolic.Run(k, a, b, codec, f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			diffs := golden.Out.DiffIndices(faulty.Out, 0)
+			if len(diffs) == 0 {
+				continue
+			}
+			st.hits++
+			if len(diffs) > st.maxRF {
+				st.maxRF = len(diffs)
+			}
+		}
+	}
+	fmt.Printf("%-8s %-22s %-12s %s\n", "FF", "Algorithm 1 predicts", "observed RF", "live faults")
+	fmt.Printf("%-8s %-22s %-12d %d\n", "pe.a", "RF <= k (one row)", stats[systolic.FFARow].maxRF, stats[systolic.FFARow].hits)
+	fmt.Printf("%-8s %-22s %-12d %d\n", "pe.b", "RF <= k (one column)", stats[systolic.FFBCol].maxRF, stats[systolic.FFBCol].hits)
+	fmt.Printf("%-8s %-22s %-12d %d\n", "pe.acc", "RF = 1 (stationary)", stats[systolic.FFAcc].maxRF, stats[systolic.FFAcc].hits)
+	fmt.Println()
+	fmt.Println("The reuse a dataflow exploits spatially (streaming operands across")
+	fmt.Println("PEs) sets the blast radius of a single-cycle upset — the same")
+	fmt.Println("conclusion FIdelity draws for the NVDLA-like design.")
+}

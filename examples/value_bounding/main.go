@@ -1,0 +1,51 @@
+// Value-bounding mitigation (paper Architectural Insights + Key Result 5):
+// large perturbations in faulty output neurons cause most application
+// errors, so clamping neuron values to a profiled bound in the write-back
+// path suppresses exactly the dangerous faults. This example compares the
+// datapath/local FIT of the plain ResNet against a variant with clamps
+// after every stage.
+//
+//	go run ./examples/value_bounding
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fidelity"
+)
+
+func main() {
+	fw, err := fidelity.New(fidelity.NVDLASmall())
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := fidelity.StudyOptions{Samples: 400, Inputs: 3, Tolerance: 0.1, Seed: 31, Workers: 2}
+
+	plain, err := fw.Analyze("resnet", fidelity.FP16, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounded, err := fw.Analyze("resnet-bounded", fidelity.FP16, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nonGlobal := func(r *fidelity.StudyResult) float64 {
+		return r.FIT.Total - r.FIT.ByClass[fidelity.GlobalControlClass]
+	}
+	fmt.Println("Key Result 5 mitigation: clamp output neurons to a profiled bound")
+	fmt.Println()
+	fmt.Printf("%-18s datapath+local FIT\n", "network")
+	fmt.Printf("%-18s %.3f\n", "resnet", nonGlobal(plain))
+	fmt.Printf("%-18s %.3f\n", "resnet-bounded", nonGlobal(bounded))
+	if d := nonGlobal(plain) - nonGlobal(bounded); d > 0 {
+		fmt.Printf("\nbounding removes %.3f FIT (%.0f%% of the datapath/local risk)\n",
+			d, 100*d/nonGlobal(plain))
+	} else {
+		fmt.Println("\n(no reduction at this sample size — rerun with larger Samples)")
+	}
+	fmt.Println("\nMechanism: an FP16 exponent-bit flip multiplies a neuron by up to")
+	fmt.Println("2^16; the clamp caps the perturbation at the activation bound, where")
+	fmt.Println("Key Result 5 says the output-error probability is ~40x lower.")
+}

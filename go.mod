@@ -1,0 +1,3 @@
+module fidelity
+
+go 1.22

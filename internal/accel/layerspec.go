@@ -1,0 +1,136 @@
+package accel
+
+import (
+	"fmt"
+
+	"fidelity/internal/numerics"
+)
+
+// LayerKind enumerates the workload layer types that have distinct fault
+// models and performance behaviour (Table II columns).
+type LayerKind int
+
+const (
+	// LayerConv is a 2-D convolution.
+	LayerConv LayerKind = iota
+	// LayerFC is a fully connected layer.
+	LayerFC
+	// LayerMatMul is a general matrix multiplication.
+	LayerMatMul
+)
+
+// String returns the Table II name.
+func (k LayerKind) String() string {
+	switch k {
+	case LayerConv:
+		return "Conv"
+	case LayerFC:
+		return "FC"
+	case LayerMatMul:
+		return "MatMul"
+	default:
+		return fmt.Sprintf("LayerKind(%d)", int(k))
+	}
+}
+
+// LayerSpec is the workload description FIdelity consumes for one DNN layer:
+// geometry, precision, and data-layout properties. This corresponds to input
+// 1 of the framework ("DNN workload: layer type, kernel size, etc.", Fig 3).
+type LayerSpec struct {
+	Name string
+	Kind LayerKind
+
+	// Batch applies to all kinds.
+	Batch int
+
+	// Convolution geometry (Kind == LayerConv); FC uses InC→OutC with
+	// OutH=OutW=KH=KW=1; MatMul uses Batch=M rows, InC=K, OutC=N.
+	OutH, OutW int
+	OutC       int
+	KH, KW     int
+	InC        int
+	Stride     int
+
+	// Precision is the datapath format the layer executes at.
+	Precision numerics.Precision
+	// WeightsCompressed reports whether the weight stream is compressed
+	// (activates the decompression unit — Class 1 activeness).
+	WeightsCompressed bool
+}
+
+// ConvSpec builds a convolution layer spec.
+func ConvSpec(name string, batch, outH, outW, outC, kh, kw, inC, stride int, p numerics.Precision) LayerSpec {
+	return LayerSpec{
+		Name: name, Kind: LayerConv, Batch: batch,
+		OutH: outH, OutW: outW, OutC: outC, KH: kh, KW: kw, InC: inC, Stride: stride,
+		Precision: p,
+	}
+}
+
+// FCSpec builds a fully connected layer spec.
+func FCSpec(name string, batch, in, out int, p numerics.Precision) LayerSpec {
+	return LayerSpec{
+		Name: name, Kind: LayerFC, Batch: batch,
+		OutH: 1, OutW: 1, OutC: out, KH: 1, KW: 1, InC: in, Stride: 1,
+		Precision: p,
+	}
+}
+
+// MatMulSpec builds an M×K · K×N matrix-multiplication spec.
+func MatMulSpec(name string, m, k, n int, p numerics.Precision) LayerSpec {
+	return LayerSpec{
+		Name: name, Kind: LayerMatMul, Batch: 1,
+		OutH: m, OutW: 1, OutC: n, KH: 1, KW: 1, InC: k, Stride: 1,
+		Precision: p,
+	}
+}
+
+// OutNeurons returns the number of output neurons the layer produces.
+func (l LayerSpec) OutNeurons() int64 {
+	return int64(l.Batch) * int64(l.OutH) * int64(l.OutW) * int64(l.OutC)
+}
+
+// MACs returns the number of multiply-accumulate operations.
+func (l LayerSpec) MACs() int64 {
+	return l.OutNeurons() * int64(l.KH) * int64(l.KW) * int64(l.InC)
+}
+
+// elemBytes returns the storage size of one value.
+func (l LayerSpec) elemBytes() int64 {
+	b := l.Precision.Bits() / 8
+	if b == 0 {
+		b = 2
+	}
+	return int64(b)
+}
+
+// InputBytes returns the activation traffic fetched for the layer.
+func (l LayerSpec) InputBytes() int64 {
+	switch l.Kind {
+	case LayerConv:
+		inH := l.OutH*l.Stride + l.KH - 1
+		inW := l.OutW*l.Stride + l.KW - 1
+		return int64(l.Batch) * int64(inH) * int64(inW) * int64(l.InC) * l.elemBytes()
+	default:
+		return int64(l.Batch) * int64(l.OutH) * int64(l.InC) * l.elemBytes()
+	}
+}
+
+// WeightBytes returns the weight traffic fetched for the layer.
+func (l LayerSpec) WeightBytes() int64 {
+	switch l.Kind {
+	case LayerMatMul:
+		return int64(l.InC) * int64(l.OutC) * l.elemBytes()
+	default:
+		return int64(l.KH) * int64(l.KW) * int64(l.InC) * int64(l.OutC) * l.elemBytes()
+	}
+}
+
+// Validate checks the geometry.
+func (l LayerSpec) Validate() error {
+	if l.Batch <= 0 || l.OutH <= 0 || l.OutW <= 0 || l.OutC <= 0 ||
+		l.KH <= 0 || l.KW <= 0 || l.InC <= 0 || l.Stride <= 0 {
+		return fmt.Errorf("accel: layer %s has non-positive geometry: %+v", l.Name, l)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package activeness
+
+import (
+	"math/rand"
+	"testing"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/numerics"
+	"fidelity/internal/rtlsim"
+	"fidelity/internal/tensor"
+)
+
+// The analytical performance model (the NVDLA perf-tool analog) must track
+// the cycle-level simulator's actual MAC-phase cycle counts within a modest
+// factor across layer geometries — that agreement is what makes the Class 3
+// activeness estimates (and exec_time(r) in Eq. 2) credible without RTL.
+func TestPerfModelTracksCycleSimulator(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := numerics.MustCodec(numerics.FP16, 0)
+	rng := rand.New(rand.NewSource(51))
+
+	cases := []struct {
+		name            string
+		h, w, inC, outC int
+		kh, stride, pad int
+	}{
+		{"small", 6, 6, 2, 8, 3, 1, 1},
+		{"wide", 8, 8, 4, 32, 3, 1, 1},
+		{"strided", 10, 10, 3, 16, 3, 2, 1},
+		{"pointwise", 7, 7, 8, 24, 1, 1, 0},
+	}
+	for _, c := range cases {
+		x := tensor.New(1, c.h, c.w, c.inC)
+		x.RandNormal(rng, 1)
+		wt := tensor.New(c.kh, c.kh, c.inC, c.outC)
+		wt.RandNormal(rng, 0.3)
+		layer := rtlsim.ConvLayer(x, wt, nil, c.stride, c.pad, codec)
+		start, end, err := rtlsim.ComputeWindow(cfg, layer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simMAC := end - start // load+MAC+WB cycles in the simulator
+
+		outH := (c.h+2*c.pad-c.kh)/c.stride + 1
+		outW := (c.w+2*c.pad-c.kh)/c.stride + 1
+		spec := accel.ConvSpec(c.name, 1, outH, outW, c.outC, c.kh, c.kh, c.inC, c.stride, numerics.FP16)
+		b, err := m.Estimate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := b.MACCycles + b.PostCycles
+		ratio := float64(model) / float64(simMAC)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s: perf model %d vs simulator %d (ratio %.2f) outside [0.5, 2.0]",
+				c.name, model, simMAC, ratio)
+		}
+	}
+}
+
+// Relative ordering: a layer with 4x the MACs must get a larger estimate.
+func TestPerfModelMonotonicInWork(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	m, _ := NewModel(cfg)
+	small := accel.ConvSpec("s", 1, 8, 8, 16, 3, 3, 8, 1, numerics.FP16)
+	big := accel.ConvSpec("b", 1, 16, 16, 16, 3, 3, 16, 1, numerics.FP16)
+	bs, _ := m.Estimate(small)
+	bb, _ := m.Estimate(big)
+	if bb.TotalCycles <= bs.TotalCycles {
+		t.Errorf("bigger layer must take longer: %d vs %d", bb.TotalCycles, bs.TotalCycles)
+	}
+}

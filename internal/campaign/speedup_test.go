@@ -1,0 +1,42 @@
+package campaign
+
+import (
+	"testing"
+
+	"fidelity/internal/accel"
+)
+
+func TestMeasureSpeedupValidation(t *testing.T) {
+	if _, err := MeasureSpeedup(accel.NVDLASmall(), nil, 0, 1); err == nil {
+		t.Error("zero iters should fail")
+	}
+}
+
+// Sec. VI shape: software fault injection is orders of magnitude faster
+// than RTL simulation and faster than the cycle-level (mixed-mode analog)
+// simulator for every Table III workload.
+func TestSpeedupShape(t *testing.T) {
+	ws, err := TableIIIWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accel.NVDLASmall()
+	reports, err := MeasureSpeedup(cfg, ws[:3], 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	for _, r := range reports {
+		if r.Cycles <= 0 || r.SoftwareSec <= 0 || r.MixedSec <= 0 {
+			t.Fatalf("%s: empty measurements %+v", r.Workload, r)
+		}
+		if r.VsRTL < 100 {
+			t.Errorf("%s: speedup vs RTL %v implausibly low", r.Workload, r.VsRTL)
+		}
+		if r.VsMixed < 1 {
+			t.Errorf("%s: software FI should beat the cycle simulator, got %vx", r.Workload, r.VsMixed)
+		}
+	}
+}

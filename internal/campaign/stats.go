@@ -1,0 +1,76 @@
+// Package campaign orchestrates FIdelity's experiment campaigns: the
+// Sec. IV validation campaign (software fault models vs. the cycle-level
+// golden reference) and the Sec. V large-scale resilience study, including
+// the statistics machinery (binomial proportions with Wilson 95% confidence
+// intervals) used to size and report them.
+package campaign
+
+import (
+	"fmt"
+	"math"
+)
+
+// Proportion is a binomial estimate with its sample size.
+type Proportion struct {
+	Successes, Trials int
+}
+
+// Add records one Bernoulli outcome.
+func (p *Proportion) Add(success bool) {
+	p.Trials++
+	if success {
+		p.Successes++
+	}
+}
+
+// Mean returns the point estimate (0 for empty samples).
+func (p Proportion) Mean() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Wilson returns the Wilson score interval at confidence z (1.96 for 95%).
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	n := float64(p.Trials)
+	if n == 0 {
+		return 0, 1
+	}
+	phat := p.Mean()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	margin := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo, hi = center-margin, center+margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// HalfWidth returns the 95% Wilson half-width, the paper's "95% confidence
+// interval" sizing criterion.
+func (p Proportion) HalfWidth() float64 {
+	lo, hi := p.Wilson(1.96)
+	return (hi - lo) / 2
+}
+
+// String renders the estimate with its interval.
+func (p Proportion) String() string {
+	lo, hi := p.Wilson(1.96)
+	return fmt.Sprintf("%.4f [%.4f, %.4f] (n=%d)", p.Mean(), lo, hi, p.Trials)
+}
+
+// SamplesFor returns the number of Bernoulli samples needed for a Wilson
+// half-width of at most w at 95% confidence in the worst case (p = 0.5).
+func SamplesFor(w float64) int {
+	if w <= 0 {
+		return math.MaxInt32
+	}
+	// Normal-approximation sizing: n = z²/(4w²).
+	return int(math.Ceil(1.96 * 1.96 / (4 * w * w)))
+}

@@ -1,0 +1,369 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/activeness"
+	"fidelity/internal/dataset"
+	"fidelity/internal/faultmodel"
+	"fidelity/internal/fit"
+	"fidelity/internal/inject"
+	"fidelity/internal/model"
+	"fidelity/internal/nn"
+)
+
+// StudyOptions parameterizes a Sec. V resilience study for one workload.
+type StudyOptions struct {
+	// Samples is the number of fault-injection experiments per software
+	// fault model (the paper uses statistically significant counts; the
+	// Wilson half-width of the masking estimates is reported).
+	Samples int
+	// Inputs is the number of distinct dataset inputs to rotate through.
+	Inputs int
+	// Tolerance is the score tolerance for BLEU/detection metrics (0.1 or
+	// 0.2 per Table IV; ignored for Top-1).
+	Tolerance float64
+	// Seed drives all sampling.
+	Seed int64
+	// RawFITPerMB is the raw FF FIT rate; 0 selects the paper's 600/MB.
+	RawFITPerMB float64
+	// Workers runs the injection experiments on this many goroutines with
+	// independent deterministic samplers (0/1 = sequential). Workload
+	// networks are read-only during injection, so sharding is safe.
+	Workers int
+	// PerLayer estimates Prob_SWmask(cat, r) separately for every layer r
+	// (the exact Eq. 2 form) instead of one network-wide aggregate. The
+	// experiment count multiplies by the number of layer executions.
+	PerLayer bool
+}
+
+// PerturbationStats is the Key Result 5 measurement over experiments that
+// corrupt exactly one output neuron: application-error probability split by
+// perturbation magnitude.
+type PerturbationStats struct {
+	// SmallFail is P(output error | single faulty neuron, |Δ| <= 100).
+	SmallFail Proportion
+	// LargeFail is P(output error | single faulty neuron, |Δ| > 100).
+	LargeFail Proportion
+}
+
+// StudyResult is the full study output for one (workload, precision,
+// tolerance) cell of Figs 4/5.
+type StudyResult struct {
+	Workload  string
+	Precision string
+	Tolerance float64
+	// Masked holds Prob_SWmask per software fault model with its CI.
+	Masked map[faultmodel.ID]*Proportion
+	// FIT is the Eq. 2 result; FITProtected assumes global control FFs are
+	// protected (Fig 6).
+	FIT, FITProtected *fit.Result
+	// Perturb is the Key Result 5 statistic.
+	Perturb PerturbationStats
+	// Experiments counts all injection runs performed.
+	Experiments int
+	// Layers retains the Eq. 2 per-layer inputs so FIT can be recomputed
+	// under perturbed assumptions (sensitivity analysis) without re-running
+	// the injection campaign.
+	Layers []fit.LayerStats
+	// RawPerFF is the per-FF raw FIT rate used.
+	RawPerFF float64
+}
+
+// specsFromTrace derives the accelerator-level layer descriptions of a
+// network from one traced inference — the workload input of Fig 3.
+func specsFromTrace(w *model.Workload, execs []nn.SiteExecution) ([]accel.LayerSpec, error) {
+	var specs []accel.LayerSpec
+	for i, e := range execs {
+		name := fmt.Sprintf("%s#%d", e.Site.Name(), e.Visit)
+		switch s := e.Site.(type) {
+		case *nn.Conv2D:
+			os := e.OutShape
+			inC := s.InC
+			if s.Depthwise {
+				inC = 1 // one filter per channel: reduction is the kernel window
+			}
+			specs = append(specs, accel.ConvSpec(name, os[0], os[1], os[2], os[3],
+				s.KH, s.KW, inC, s.Stride, w.Net.Precision))
+		case *nn.Dense:
+			specs = append(specs, accel.FCSpec(name, e.InShape[0], s.In, s.Out, w.Net.Precision))
+		case *nn.MatMulSite:
+			m, k := e.InShape[0], e.InShape[1]
+			n := e.OutShape[1]
+			specs = append(specs, accel.MatMulSpec(name, m, k, n, w.Net.Precision))
+		default:
+			return nil, fmt.Errorf("campaign: execution %d has unsupported site type %T", i, e.Site)
+		}
+	}
+	return specs, nil
+}
+
+// Study runs the fault-injection study for one workload on design cfg and
+// computes its Accelerator_FIT_rate.
+func Study(cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResult, error) {
+	if opts.Samples <= 0 || opts.Inputs <= 0 {
+		return nil, fmt.Errorf("campaign: Samples and Inputs must be positive")
+	}
+	if opts.RawFITPerMB == 0 {
+		opts.RawFITPerMB = fit.RawFFFITPerMB
+	}
+	models, err := faultmodel.Derive(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &StudyResult{
+		Workload:  w.Net.Name(),
+		Precision: w.Net.Precision.String(),
+		Tolerance: opts.Tolerance,
+		Masked:    map[faultmodel.ID]*Proportion{},
+	}
+	for _, id := range faultmodel.AllIDs() {
+		res.Masked[id] = &Proportion{}
+	}
+
+	// Trace once for the Eq. 2 layer specs.
+	x0, err := dataset.Sample(w.Dataset, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, execs := w.Net.Trace(x0)
+
+	workers := opts.Workers
+	if workers <= 1 {
+		workers = 1
+	}
+	type shard struct {
+		masked      map[faultmodel.ID]*Proportion
+		perLayer    []map[faultmodel.ID]*Proportion
+		perturb     PerturbationStats
+		experiments int
+		err         error
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			sh := &shards[wid]
+			sh.masked = map[faultmodel.ID]*Proportion{}
+			for _, id := range faultmodel.AllIDs() {
+				sh.masked[id] = &Proportion{}
+			}
+			sampler, err := faultmodel.NewSampler(models, opts.Seed*1_000_003+int64(wid))
+			if err != nil {
+				sh.err = err
+				return
+			}
+			inj := inject.New(w, sampler)
+			// This worker's share of the per-(input, model) sample count.
+			for i := 0; i < opts.Inputs; i++ {
+				x, err := dataset.Sample(w.Dataset, i)
+				if err != nil {
+					sh.err = err
+					return
+				}
+				if err := inj.Prepare(x); err != nil {
+					sh.err = err
+					return
+				}
+				per := opts.Samples / opts.Inputs
+				if i < opts.Samples%opts.Inputs {
+					per++
+				}
+				mine := per / workers
+				if wid < per%workers {
+					mine++
+				}
+				if opts.PerLayer && sh.perLayer == nil {
+					sh.perLayer = make([]map[faultmodel.ID]*Proportion, inj.Executions())
+					for e := range sh.perLayer {
+						sh.perLayer[e] = map[faultmodel.ID]*Proportion{}
+						for _, id := range faultmodel.AllIDs() {
+							sh.perLayer[e][id] = &Proportion{}
+						}
+					}
+				}
+				record := func(layer int, id faultmodel.ID, r inject.Result) {
+					sh.experiments++
+					masked := r.Outcome == inject.Masked
+					sh.masked[id].Add(masked)
+					if layer >= 0 && sh.perLayer != nil {
+						sh.perLayer[layer][id].Add(masked)
+					}
+					if r.FaultyNeurons == 1 {
+						failed := !masked
+						if r.MaxPerturbation <= 100 {
+							sh.perturb.SmallFail.Add(failed)
+						} else {
+							sh.perturb.LargeFail.Add(failed)
+						}
+					}
+				}
+				for _, id := range faultmodel.AllIDs() {
+					if id == faultmodel.GlobalControl {
+						// Modeled as always failing: Prob_SWmask = 0.
+						for s := 0; s < mine; s++ {
+							sh.masked[id].Add(false)
+						}
+						sh.experiments += mine
+						continue
+					}
+					if opts.PerLayer {
+						for e := 0; e < inj.Executions(); e++ {
+							for s := 0; s < mine; s++ {
+								r, err := inj.RunAt(e, id, opts.Tolerance)
+								if err != nil {
+									sh.err = err
+									return
+								}
+								record(e, id, r)
+							}
+						}
+						continue
+					}
+					for s := 0; s < mine; s++ {
+						r, err := inj.Run(id, opts.Tolerance)
+						if err != nil {
+							sh.err = err
+							return
+						}
+						record(-1, id, r)
+					}
+				}
+			}
+		}(wid)
+	}
+	wg.Wait()
+	var perLayer []map[faultmodel.ID]*Proportion
+	if opts.PerLayer {
+		perLayer = make([]map[faultmodel.ID]*Proportion, len(execs))
+		for e := range perLayer {
+			perLayer[e] = map[faultmodel.ID]*Proportion{}
+			for _, id := range faultmodel.AllIDs() {
+				perLayer[e][id] = &Proportion{}
+			}
+		}
+	}
+	for i := range shards {
+		sh := &shards[i]
+		if sh.err != nil {
+			return nil, sh.err
+		}
+		for id, p := range sh.masked {
+			res.Masked[id].Successes += p.Successes
+			res.Masked[id].Trials += p.Trials
+		}
+		for e := range sh.perLayer {
+			for id, p := range sh.perLayer[e] {
+				perLayer[e][id].Successes += p.Successes
+				perLayer[e][id].Trials += p.Trials
+			}
+		}
+		res.Perturb.SmallFail.Successes += sh.perturb.SmallFail.Successes
+		res.Perturb.SmallFail.Trials += sh.perturb.SmallFail.Trials
+		res.Perturb.LargeFail.Successes += sh.perturb.LargeFail.Successes
+		res.Perturb.LargeFail.Trials += sh.perturb.LargeFail.Trials
+		res.Experiments += sh.experiments
+	}
+
+	// Assemble Eq. 2 inputs: per-layer activeness and exec time from the
+	// performance model, masking probabilities from the campaign aggregate.
+	specs, err := specsFromTrace(w, execs)
+	if err != nil {
+		return nil, err
+	}
+	perf, err := activeness.NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var layers []fit.LayerStats
+	for li, spec := range specs {
+		an, err := activeness.Analyze(cfg, perf, spec)
+		if err != nil {
+			return nil, err
+		}
+		ls := fit.LayerStats{
+			Layer:        spec.Name,
+			ExecTime:     float64(an.Breakdown.TotalCycles),
+			ProbInactive: an.ProbInactive,
+			ProbMasked:   map[accel.Category]float64{},
+		}
+		for _, m := range models {
+			p := res.Masked[m.ID]
+			if perLayer != nil && m.ID != faultmodel.GlobalControl {
+				if lp := perLayer[li][m.ID]; lp.Trials > 0 {
+					p = lp
+				}
+			}
+			ls.ProbMasked[m.Cat] = p.Mean()
+		}
+		layers = append(layers, ls)
+	}
+	raw := fit.RawFITPerFF(opts.RawFITPerMB)
+	res.Layers = layers
+	res.RawPerFF = raw
+	res.FIT, err = fit.Compute(cfg, raw, layers)
+	if err != nil {
+		return nil, err
+	}
+	res.FITProtected, err = fit.ComputeProtected(cfg, raw, layers)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SensitivityBounds recomputes the FIT rate under perturbed estimates: the
+// FF count scaled by ±ffDelta and every Prob_inactive scaled by ±actDelta
+// (clamped to [0, 1]). This is the paper's sensitivity-analysis mode for
+// early design phases, where the microarchitectural inputs are estimates:
+// the bounds bracket the FIT rate without re-running any injections.
+func SensitivityBounds(cfg *accel.Config, res *StudyResult, ffDelta, actDelta float64) (lo, hi float64, err error) {
+	if res.Layers == nil {
+		return 0, 0, fmt.Errorf("campaign: study result carries no layer stats")
+	}
+	if ffDelta < 0 || ffDelta >= 1 || actDelta < 0 || actDelta > 1 {
+		return 0, 0, fmt.Errorf("campaign: deltas out of range (ff=%v, act=%v)", ffDelta, actDelta)
+	}
+	eval := func(ffScale, actScale float64) (float64, error) {
+		c := *cfg
+		c.NumFFs = int(float64(cfg.NumFFs) * ffScale)
+		if c.NumFFs < 1 {
+			c.NumFFs = 1
+		}
+		layers := make([]fit.LayerStats, len(res.Layers))
+		for i, l := range res.Layers {
+			m := fit.LayerStats{
+				Layer: l.Layer, ExecTime: l.ExecTime,
+				ProbInactive: map[accel.Category]float64{},
+				ProbMasked:   l.ProbMasked,
+			}
+			for cat, p := range l.ProbInactive {
+				p *= actScale
+				if p > 1 {
+					p = 1
+				}
+				m.ProbInactive[cat] = p
+			}
+			layers[i] = m
+		}
+		r, err := fit.Compute(&c, res.RawPerFF, layers)
+		if err != nil {
+			return 0, err
+		}
+		return r.Total, nil
+	}
+	// Worst case: more FFs, less inactivity. Best case: the opposite.
+	hi, err = eval(1+ffDelta, 1-actDelta)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, err = eval(1-ffDelta, 1+actDelta)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,96 @@
+package campaign
+
+import (
+	"math/rand"
+	"testing"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/nn"
+	"fidelity/internal/numerics"
+	"fidelity/internal/rtlsim"
+	"fidelity/internal/tensor"
+)
+
+// int8Workloads builds a quantized validation set. The paper validates at
+// FP16 only (Table III); this extends the validation to the INT8 datapath,
+// where the software fault models must remain exact because the codec
+// arithmetic is shared end to end.
+func int8Workloads(t *testing.T) []*ValWorkload {
+	t.Helper()
+	codec, err := numerics.NewCodec(numerics.INT8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*ValWorkload
+
+	rng := rand.New(rand.NewSource(201))
+	conv := nn.NewConv2D("int8-conv", 3, 3, 3, 12, 1, 1, codec).InitRandom(rng, 0.5)
+	x := tensor.New(1, 8, 8, 3)
+	x.RandNormal(rng, 1.5)
+	out = append(out, &ValWorkload{
+		Name:  "int8-conv",
+		RTL:   rtlsim.ConvLayer(x, conv.W, conv.B.Data(), 1, 1, codec),
+		Site:  conv,
+		Input: x,
+	})
+
+	fc := nn.NewDense("int8-fc", 20, 14, codec).InitRandom(rng, 0.4)
+	xf := tensor.New(10, 20)
+	xf.RandNormal(rng, 1.5)
+	out = append(out, &ValWorkload{
+		Name:  "int8-fc",
+		RTL:   rtlsim.MatMulLayer(accel.LayerFC, xf, fc.W, fc.B.Data(), codec),
+		Site:  fc,
+		Input: xf,
+	})
+	return out
+}
+
+func TestValidationCampaignINT8(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	rep, err := Validate(cfg, int8Workloads(t), 250, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("INT8 mismatch: %s", m)
+	}
+	if rep.DatapathChecked == 0 {
+		t.Fatal("no INT8 datapath cases checked")
+	}
+	if rep.DatapathExact != rep.DatapathChecked {
+		t.Errorf("INT8 datapath exact %d/%d", rep.DatapathExact, rep.DatapathChecked)
+	}
+	if rep.SetMatch != rep.SetChecked {
+		t.Errorf("INT8 set matches %d/%d", rep.SetMatch, rep.SetChecked)
+	}
+}
+
+// INT16 spot-check with the same machinery.
+func TestValidationCampaignINT16(t *testing.T) {
+	codec, err := numerics.NewCodec(numerics.INT16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(202))
+	conv := nn.NewConv2D("int16-conv", 3, 3, 2, 8, 2, 1, codec).InitRandom(rng, 0.5)
+	x := tensor.New(1, 9, 9, 2)
+	x.RandNormal(rng, 1.5)
+	w := &ValWorkload{
+		Name:  "int16-conv",
+		RTL:   rtlsim.ConvLayer(x, conv.W, conv.B.Data(), 2, 1, codec),
+		Site:  conv,
+		Input: x,
+	}
+	cfg := accel.NVDLASmall()
+	rep, err := Validate(cfg, []*ValWorkload{w}, 250, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("INT16 mismatch: %s", m)
+	}
+	if rep.DatapathExact != rep.DatapathChecked || rep.DatapathChecked == 0 {
+		t.Errorf("INT16 datapath exact %d/%d", rep.DatapathExact, rep.DatapathChecked)
+	}
+}

@@ -1,0 +1,158 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/rtlsim"
+)
+
+func TestWilsonInterval(t *testing.T) {
+	var p Proportion
+	for i := 0; i < 100; i++ {
+		p.Add(i < 30)
+	}
+	if p.Mean() != 0.3 {
+		t.Fatalf("mean = %v", p.Mean())
+	}
+	lo, hi := p.Wilson(1.96)
+	if !(lo < 0.3 && 0.3 < hi) {
+		t.Errorf("interval [%v, %v] must contain the mean", lo, hi)
+	}
+	if hi-lo > 0.2 {
+		t.Errorf("interval too wide for n=100: %v", hi-lo)
+	}
+	if p.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestWilsonEmpty(t *testing.T) {
+	var p Proportion
+	lo, hi := p.Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty interval = [%v, %v]", lo, hi)
+	}
+	if p.Mean() != 0 {
+		t.Error("empty mean must be 0")
+	}
+}
+
+// Interval width shrinks as ~1/√n.
+func TestWilsonShrinks(t *testing.T) {
+	widths := []float64{}
+	for _, n := range []int{10, 100, 1000} {
+		var p Proportion
+		for i := 0; i < n; i++ {
+			p.Add(i%2 == 0)
+		}
+		widths = append(widths, p.HalfWidth())
+	}
+	if !(widths[0] > widths[1] && widths[1] > widths[2]) {
+		t.Errorf("widths not shrinking: %v", widths)
+	}
+}
+
+func TestSamplesFor(t *testing.T) {
+	n := SamplesFor(0.01)
+	if n < 9000 || n > 11000 {
+		t.Errorf("SamplesFor(0.01) = %d, want ~9604", n)
+	}
+	if SamplesFor(0) != math.MaxInt32 {
+		t.Error("zero width must be unbounded")
+	}
+}
+
+func TestTableIIIWorkloads(t *testing.T) {
+	ws, err := TableIIIWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 6 {
+		t.Fatalf("workloads = %d, want 6 (Table III)", len(ws))
+	}
+	// Every workload's golden RTL run must agree with the software layer.
+	cfg := accel.NVDLASmall()
+	for _, w := range ws {
+		o, err := rtlsim.Run(cfg, w.RTL, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if o.TimedOut {
+			t.Fatalf("%s: golden timed out", w.Name)
+		}
+	}
+}
+
+// The core validation claim (paper Sec. IV-C): across a sampled campaign,
+// every checked datapath case matches the software fault model exactly,
+// every local-control case lands on the predicted neuron, and global faults
+// are mostly non-masked.
+func TestValidationCampaign(t *testing.T) {
+	ws, err := TableIIIWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accel.NVDLASmall()
+	rep, err := Validate(cfg, ws, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 120*len(ws) {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	if rep.NonMasked == 0 {
+		t.Fatal("campaign produced no non-masked cases")
+	}
+	if rep.DatapathChecked == 0 {
+		t.Fatal("no datapath cases checked")
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("mismatch: %s", m)
+	}
+	if rep.DatapathExact != rep.DatapathChecked {
+		t.Errorf("datapath exact matches %d/%d", rep.DatapathExact, rep.DatapathChecked)
+	}
+	if rep.SetMatch != rep.SetChecked {
+		t.Errorf("set matches %d/%d", rep.SetMatch, rep.SetChecked)
+	}
+	if rep.LocalChecked > 0 && rep.LocalMatch != rep.LocalChecked {
+		t.Errorf("local matches %d/%d", rep.LocalMatch, rep.LocalChecked)
+	}
+	if rep.GlobalFired > 0 {
+		frac := rep.GlobalMaskedFrac()
+		// Paper: ~9.5% of active global-control faults are masked. Accept a
+		// generous band around that.
+		if frac > 0.5 {
+			t.Errorf("global masked fraction %v too high for the always-fail model", frac)
+		}
+	}
+}
+
+// Time-outs must occur in a large enough campaign and must all come from
+// global control faults (paper: all 72 time-outs were global).
+func TestValidationTimeoutsAreGlobal(t *testing.T) {
+	ws, err := TableIIIWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := accel.NVDLASmall()
+	rep, err := Validate(cfg, ws[:2], 300, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Mismatches {
+		t.Errorf("mismatch: %s", m)
+	}
+	if rep.Timeouts == 0 {
+		t.Log("no timeouts in this sample (acceptable but unusual)")
+	}
+}
+
+func TestGlobalMaskedFracEmpty(t *testing.T) {
+	r := &ValidationReport{}
+	if r.GlobalMaskedFrac() != 0 {
+		t.Error("empty report should report 0")
+	}
+}

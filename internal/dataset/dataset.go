@@ -1,0 +1,129 @@
+// Package dataset generates the seeded synthetic workload inputs that stand
+// in for the paper's evaluation datasets (ImageNet, Cifar10, COCO, IWSLT14,
+// UCI HAR). Fault-injection outcome analysis always compares a faulty run
+// against the fault-free run on the same input, so what matters is that the
+// inputs have realistic shape, dynamic range, and structure — not that they
+// come from the original corpora (see DESIGN.md, substitution 5).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fidelity/internal/tensor"
+)
+
+// Name identifies a synthetic dataset.
+type Name string
+
+// Supported datasets.
+const (
+	// ImagenetLike: 32×32×3 natural-image-like inputs (smooth blobs + noise).
+	ImagenetLike Name = "imagenet-like"
+	// Cifar10Like: 16×16×3 inputs with the same construction.
+	Cifar10Like Name = "cifar10-like"
+	// COCOLike: 48×48×3 detection scenes with bright object patches.
+	COCOLike Name = "coco-like"
+	// IWSLTLike: token sequences over a small vocabulary.
+	IWSLTLike Name = "iwslt-like"
+	// HARLike: 6-channel accelerometer/gyroscope-like time series.
+	HARLike Name = "har-like"
+)
+
+// Image synthesizes one natural-image-like NHWC tensor: a few smooth
+// Gaussian blobs over a textured background, normalized to roughly [-1, 1].
+func Image(h, w, c int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	img := tensor.New(1, h, w, c)
+	type blob struct {
+		cy, cx, sigma float64
+		amp           [8]float64
+	}
+	nb := 2 + rng.Intn(4)
+	blobs := make([]blob, nb)
+	for i := range blobs {
+		b := blob{
+			cy:    rng.Float64() * float64(h),
+			cx:    rng.Float64() * float64(w),
+			sigma: 1.5 + rng.Float64()*float64(h)/4,
+		}
+		for ch := 0; ch < c && ch < len(b.amp); ch++ {
+			b.amp[ch] = rng.NormFloat64()
+		}
+		blobs[i] = b
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for ch := 0; ch < c; ch++ {
+				v := 0.1 * rng.NormFloat64() // sensor noise
+				for _, b := range blobs {
+					d2 := (float64(y)-b.cy)*(float64(y)-b.cy) + (float64(x)-b.cx)*(float64(x)-b.cx)
+					v += b.amp[ch%len(b.amp)] * math.Exp(-d2/(2*b.sigma*b.sigma))
+				}
+				img.Set(float32(math.Tanh(v)), 0, y, x, ch)
+			}
+		}
+	}
+	return img
+}
+
+// Tokens synthesizes a token sequence over vocab with mild bigram structure
+// (each token prefers a successor near itself), mimicking natural-language
+// statistics enough to exercise embedding/attention paths.
+func Tokens(seqLen, vocab int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, seqLen)
+	cur := rng.Intn(vocab)
+	for i := range out {
+		out[i] = cur
+		if rng.Float64() < 0.6 {
+			cur = (cur + 1 + rng.Intn(4)) % vocab
+		} else {
+			cur = rng.Intn(vocab)
+		}
+	}
+	return out
+}
+
+// TimeSeries synthesizes a (steps, channels) activity-recognition-like
+// signal: per-channel sinusoids with random phase/frequency plus noise.
+func TimeSeries(steps, channels int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	ts := tensor.New(steps, channels)
+	for ch := 0; ch < channels; ch++ {
+		freq := 0.05 + rng.Float64()*0.3
+		phase := rng.Float64() * 2 * math.Pi
+		amp := 0.5 + rng.Float64()
+		for s := 0; s < steps; s++ {
+			v := amp*math.Sin(freq*float64(s)+phase) + 0.15*rng.NormFloat64()
+			ts.Set(float32(v), s, ch)
+		}
+	}
+	return ts
+}
+
+// Sample produces the i-th input of a dataset as a tensor. Token datasets
+// return a (seq, 1) tensor of token IDs (consumed by an embedding layer).
+func Sample(name Name, i int) (*tensor.Tensor, error) {
+	seed := int64(i)*1_000_003 + 17
+	switch name {
+	case ImagenetLike:
+		return Image(32, 32, 3, seed), nil
+	case Cifar10Like:
+		return Image(16, 16, 3, seed), nil
+	case COCOLike:
+		return Image(48, 48, 3, seed), nil
+	case IWSLTLike:
+		toks := Tokens(24, 64, seed)
+		t := tensor.New(len(toks), 1)
+		for j, v := range toks {
+			t.Set(float32(v), j, 0)
+		}
+		return t, nil
+	case HARLike:
+		return TimeSeries(48, 6, seed), nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+}

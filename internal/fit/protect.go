@@ -1,0 +1,95 @@
+package fit
+
+import (
+	"fmt"
+	"sort"
+
+	"fidelity/internal/accel"
+)
+
+// This file implements the paper's Architectural Insights: "selectively
+// protecting only the FFs in [resilience-critical] categories may be
+// sufficient to achieve a given resilience target while minimizing
+// system-level costs."
+
+// ProtectionChoice is one category selected for hardening (e.g. parity or
+// DICE FFs), with the FIT it removes and the FF share it costs.
+type ProtectionChoice struct {
+	Cat accel.Category
+	// FITRemoved is the category's contribution eliminated by protecting it.
+	FITRemoved float64
+	// FFShare is the fraction of the design's FFs that must be hardened.
+	FFShare float64
+}
+
+// ProtectionPlan is a minimal-cost selective protection scheme.
+type ProtectionPlan struct {
+	// Choices lists the protected categories in selection order (highest
+	// FIT-per-FF density first).
+	Choices []ProtectionChoice
+	// ResidualFIT is the FIT rate after protection.
+	ResidualFIT float64
+	// ProtectedFFShare is the total fraction of FFs hardened.
+	ProtectedFFShare float64
+	// Meets reports whether ResidualFIT is under the budget.
+	Meets bool
+}
+
+// PlanProtection greedily selects FF categories to protect — densest
+// FIT-per-hardened-FF first — until the residual FIT fits the budget.
+// Greedy-by-density is the natural heuristic for this fractional-cost cover;
+// categories with zero measured contribution are never selected.
+func PlanProtection(cfg *accel.Config, r *Result, budget float64) (*ProtectionPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("fit: budget must be positive, got %v", budget)
+	}
+	type cand struct {
+		cat     accel.Category
+		contrib float64
+		share   float64
+	}
+	var cands []cand
+	for _, g := range cfg.Census {
+		c := r.ByCategory[g.Cat]
+		if c > 0 && g.Frac > 0 {
+			cands = append(cands, cand{cat: g.Cat, contrib: c, share: g.Frac})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].contrib/cands[i].share > cands[j].contrib/cands[j].share
+	})
+	plan := &ProtectionPlan{ResidualFIT: r.Total}
+	for _, c := range cands {
+		if plan.ResidualFIT < budget {
+			break
+		}
+		plan.Choices = append(plan.Choices, ProtectionChoice{
+			Cat: c.cat, FITRemoved: c.contrib, FFShare: c.share,
+		})
+		plan.ResidualFIT -= c.contrib
+		plan.ProtectedFFShare += c.share
+	}
+	if plan.ResidualFIT < 0 {
+		plan.ResidualFIT = 0
+	}
+	plan.Meets = plan.ResidualFIT < budget
+	return plan, nil
+}
+
+// String renders the plan.
+func (p *ProtectionPlan) String() string {
+	s := ""
+	for _, c := range p.Choices {
+		s += fmt.Sprintf("  protect %-28v removes %7.3f FIT, hardens %5.1f%% of FFs\n",
+			c.Cat, c.FITRemoved, c.FFShare*100)
+	}
+	verdict := "meets budget"
+	if !p.Meets {
+		verdict = "still over budget"
+	}
+	return fmt.Sprintf("%sresidual FIT %.3f with %.1f%% of FFs hardened (%s)",
+		s, p.ResidualFIT, p.ProtectedFFShare*100, verdict)
+}

@@ -1,0 +1,93 @@
+package fit
+
+import (
+	"strings"
+	"testing"
+
+	"fidelity/internal/accel"
+)
+
+func TestPlanProtectionValidation(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	r := &Result{Total: 1, ByCategory: map[accel.Category]float64{}}
+	if _, err := PlanProtection(cfg, r, 0); err == nil {
+		t.Error("zero budget should fail")
+	}
+	bad := accel.NVDLASmall()
+	bad.NumFFs = 0
+	if _, err := PlanProtection(bad, r, 0.2); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestPlanProtectionGreedyDensity(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	res, err := Compute(cfg, 1, []LayerStats{uniformStats(cfg, "l", 1, 0, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanProtection(cfg, res, 0.2*res.Total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Meets {
+		t.Fatalf("plan should meet the budget: %+v", plan)
+	}
+	// Global control (unmasked, 11.3% of FFs) has the highest density with
+	// uniform masking elsewhere; it must be picked first.
+	if len(plan.Choices) == 0 || plan.Choices[0].Cat.Class != accel.GlobalControl {
+		t.Errorf("first choice should be global control, got %+v", plan.Choices)
+	}
+	// Densities must be non-increasing.
+	for i := 1; i < len(plan.Choices); i++ {
+		d0 := plan.Choices[i-1].FITRemoved / plan.Choices[i-1].FFShare
+		d1 := plan.Choices[i].FITRemoved / plan.Choices[i].FFShare
+		if d1 > d0+1e-9 {
+			t.Errorf("densities not sorted: %v then %v", d0, d1)
+		}
+	}
+	// Residual accounting must be consistent.
+	var removed float64
+	for _, c := range plan.Choices {
+		removed += c.FITRemoved
+	}
+	if diff := res.Total - removed - plan.ResidualFIT; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("residual accounting off by %v", diff)
+	}
+	if plan.String() == "" || !strings.Contains(plan.String(), "residual FIT") {
+		t.Error("plan string malformed")
+	}
+}
+
+func TestPlanProtectionAlreadyUnderBudget(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	r := &Result{Total: 0.01, ByCategory: map[accel.Category]float64{}}
+	plan, err := PlanProtection(cfg, r, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Choices) != 0 || !plan.Meets {
+		t.Errorf("no protection needed: %+v", plan)
+	}
+}
+
+func TestPlanProtectionImpossibleBudget(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	// Only part of the FIT is attributable to categories; an absurdly small
+	// budget cannot be met even protecting everything.
+	by := map[accel.Category]float64{}
+	for _, g := range cfg.Census {
+		by[g.Cat] = 1
+	}
+	r := &Result{Total: 100, ByCategory: by}
+	plan, err := PlanProtection(cfg, r, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Meets {
+		t.Error("7 FIT of removable contributions cannot reach 1e-6 from 100")
+	}
+	if len(plan.Choices) != len(cfg.Census) {
+		t.Errorf("should protect everything available, got %d", len(plan.Choices))
+	}
+}

@@ -1,0 +1,225 @@
+// Package inject is step 2 of the FIdelity flow: it applies the software
+// fault models to end-to-end inference runs of the nn substrate and
+// classifies each experiment's outcome (masked vs. application output error
+// vs. system anomaly), producing the Prob_SWmask statistics Eq. 2 consumes.
+package inject
+
+import (
+	"fmt"
+	"math"
+
+	"fidelity/internal/faultmodel"
+	"fidelity/internal/model"
+	"fidelity/internal/nn"
+	"fidelity/internal/tensor"
+)
+
+// Outcome classifies one fault-injection experiment (Sec. III-D: masked vs.
+// system failure, where failure covers output errors and system anomalies).
+type Outcome int
+
+const (
+	// Masked: the application output is sufficiently similar to the golden
+	// output under the workload's correctness metric.
+	Masked Outcome = iota
+	// OutputError: the application output violates the correctness metric.
+	OutputError
+	// SystemAnomaly: time-out or hang (global-control faults).
+	SystemAnomaly
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case OutputError:
+		return "output-error"
+	case SystemAnomaly:
+		return "system-anomaly"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Failed reports whether the outcome counts as a system failure in Eq. 2.
+func (o Outcome) Failed() bool { return o != Masked }
+
+// Result records one experiment.
+type Result struct {
+	Outcome Outcome
+	Model   faultmodel.ID
+	Site    string
+	// FaultyNeurons is the number of output neurons changed at the injected
+	// layer.
+	FaultyNeurons int
+	// MaxPerturbation is the largest |faulty − golden| among the changed
+	// neurons (Key Result 5's quantity). Infinities and NaN map to +Inf.
+	MaxPerturbation float64
+	// Score is the application quality score vs. the golden output.
+	Score float64
+}
+
+// Injector runs fault-injection experiments against one workload.
+type Injector struct {
+	W       *model.Workload
+	Sampler *faultmodel.Sampler
+
+	// cached golden state per input
+	input   *tensor.Tensor
+	golden  model.AppOutput
+	execs   []nn.SiteExecution
+	weights []float64
+	total   float64
+}
+
+// New builds an injector for workload w with sampler s.
+func New(w *model.Workload, s *faultmodel.Sampler) *Injector {
+	return &Injector{W: w, Sampler: s}
+}
+
+// Prepare runs the golden inference for input x and caches the trace. Must
+// be called before Run; call again to switch inputs.
+func (in *Injector) Prepare(x *tensor.Tensor) error {
+	out, execs := in.W.Net.Trace(x)
+	if len(execs) == 0 {
+		return fmt.Errorf("inject: workload %s has no injection sites", in.W.Net.Name())
+	}
+	in.input = x
+	in.golden = in.W.Decode(out)
+	in.execs = execs
+	in.weights = make([]float64, len(execs))
+	in.total = 0
+	for i, e := range in.execs {
+		in.weights[i] = execWork(e)
+		in.total += in.weights[i]
+	}
+	return nil
+}
+
+// execWork estimates the MAC work of a site execution: output size times the
+// reduction length — the proxy for the time share during which the layer's
+// values occupy the accelerator datapath.
+func execWork(e nn.SiteExecution) float64 {
+	red := 1.0
+	if c, ok := e.Site.(*nn.Conv2D); ok && c.Depthwise {
+		// One filter per channel: the reduction is just the kernel window.
+		red = float64(c.KH * c.KW)
+	} else if len(e.WShape) > 0 {
+		wsize := 1
+		for _, d := range e.WShape {
+			wsize *= d
+		}
+		outCh := e.WShape[len(e.WShape)-1]
+		if e.Site != nil && e.Site.Kind() != nn.KindConv {
+			outCh = e.WShape[1] // (K, N) layout
+		}
+		if outCh > 0 {
+			red = float64(wsize) / float64(outCh)
+		}
+	}
+	return float64(e.OutSize) * red
+}
+
+// pickExec samples a site execution proportionally to its work.
+func (in *Injector) pickExec() nn.SiteExecution {
+	r := in.Sampler.Rand().Float64() * in.total
+	for i, w := range in.weights {
+		r -= w
+		if r <= 0 {
+			return in.execs[i]
+		}
+	}
+	return in.execs[len(in.execs)-1]
+}
+
+// Golden returns the cached fault-free application output.
+func (in *Injector) Golden() model.AppOutput { return in.golden }
+
+// Executions returns the number of recorded site executions for the
+// prepared input.
+func (in *Injector) Executions() int { return len(in.execs) }
+
+// Run executes one experiment: sample a fault of model id at a work-weighted
+// site execution, inject it, and classify the outcome under tolerance tol.
+func (in *Injector) Run(id faultmodel.ID, tol float64) (Result, error) {
+	return in.run(id, tol, -1)
+}
+
+// RunAt executes one experiment pinned to the execIdx-th site execution —
+// used by per-layer campaigns that estimate Prob_SWmask(cat, r) separately
+// for every layer r.
+func (in *Injector) RunAt(execIdx int, id faultmodel.ID, tol float64) (Result, error) {
+	if execIdx < 0 || execIdx >= len(in.execs) {
+		return Result{}, fmt.Errorf("inject: execution %d outside [0,%d)", execIdx, len(in.execs))
+	}
+	return in.run(id, tol, execIdx)
+}
+
+func (in *Injector) run(id faultmodel.ID, tol float64, execIdx int) (Result, error) {
+	if in.input == nil {
+		return Result{}, fmt.Errorf("inject: Prepare must be called first")
+	}
+	res := Result{Model: id}
+	if id == faultmodel.GlobalControl {
+		// FIdelity models faults in active global control FFs as always
+		// failing (Prob_SWmask = 0); the concrete anomaly is a time-out or
+		// massive corruption.
+		res.Outcome = SystemAnomaly
+		res.Site = "global"
+		res.Score = 0
+		return res, nil
+	}
+	target := in.pickExec()
+	if execIdx >= 0 {
+		target = in.execs[execIdx]
+	}
+	res.Site = target.Site.Name()
+
+	var plan *faultmodel.Plan
+	var changes []faultmodel.Change
+	var planErr error
+	out := in.W.Net.ForwardWithHook(in.input, func(site nn.Layer, visit int, op *nn.Operands) {
+		s, ok := site.(nn.Site)
+		if !ok || s != target.Site || visit != target.Visit || planErr != nil || plan != nil {
+			return
+		}
+		plan, planErr = in.Sampler.Plan(id, s, visit, op)
+		if planErr != nil {
+			return
+		}
+		changes = faultmodel.Apply(plan, s, op)
+	})
+	if planErr != nil {
+		return Result{}, planErr
+	}
+	if plan == nil {
+		return Result{}, fmt.Errorf("inject: target execution %s#%d not reached", target.Site.Name(), target.Visit)
+	}
+
+	res.FaultyNeurons = len(changes)
+	for _, c := range changes {
+		d := math.Abs(float64(c.Faulty) - float64(c.Golden))
+		if math.IsNaN(d) {
+			d = math.Inf(1)
+		}
+		if d > res.MaxPerturbation {
+			res.MaxPerturbation = d
+		}
+	}
+	if len(changes) == 0 {
+		// The flip did not alter any stored output value: architecturally
+		// masked at the layer itself.
+		res.Outcome = Masked
+		res.Score = 1
+		return res, nil
+	}
+	faulty := in.W.Decode(out)
+	res.Score = in.W.Score(in.golden, faulty)
+	if in.W.Correct(in.golden, faulty, tol) {
+		res.Outcome = Masked
+	} else {
+		res.Outcome = OutputError
+	}
+	return res, nil
+}

@@ -1,0 +1,141 @@
+// Package metrics implements the application correctness metrics of paper
+// Table IV: Top-1 label match for classifiers, BLEU-score difference for
+// translation, and detection-precision difference for object detection.
+// Every metric compares a faulty application output against the fault-free
+// output of the same run, exactly as the paper's methodology does.
+package metrics
+
+import (
+	"math"
+
+	"fidelity/internal/tensor"
+)
+
+// Top1Match reports whether the faulty classifier output predicts the same
+// top-1 label as the golden output.
+func Top1Match(golden, faulty *tensor.Tensor) bool {
+	return golden.ArgMax() == faulty.ArgMax()
+}
+
+// BLEU computes a sentence-level BLEU score of hyp against ref: geometric
+// mean of modified n-gram precisions up to 4-grams with add-one smoothing
+// and a brevity penalty. Identical sequences score 1.
+func BLEU(ref, hyp []int) float64 {
+	if len(hyp) == 0 {
+		if len(ref) == 0 {
+			return 1
+		}
+		return 0
+	}
+	logSum := 0.0
+	for n := 1; n <= 4; n++ {
+		match, total := ngramOverlap(ref, hyp, n)
+		// Add-one smoothing keeps short sentences meaningful.
+		p := (float64(match) + 1) / (float64(total) + 1)
+		logSum += math.Log(p)
+	}
+	bleu := math.Exp(logSum / 4)
+	if len(hyp) < len(ref) {
+		bleu *= math.Exp(1 - float64(len(ref))/float64(len(hyp)))
+	}
+	return bleu
+}
+
+// ngramOverlap counts clipped n-gram matches of hyp against ref.
+func ngramOverlap(ref, hyp []int, n int) (match, total int) {
+	if len(hyp) < n {
+		return 0, 0
+	}
+	refCount := map[string]int{}
+	for i := 0; i+n <= len(ref); i++ {
+		refCount[key(ref[i:i+n])]++
+	}
+	hypCount := map[string]int{}
+	for i := 0; i+n <= len(hyp); i++ {
+		hypCount[key(hyp[i:i+n])]++
+		total++
+	}
+	for k, c := range hypCount {
+		if rc := refCount[k]; rc < c {
+			match += rc
+		} else {
+			match += c
+		}
+	}
+	return match, total
+}
+
+func key(gram []int) string {
+	b := make([]byte, 0, len(gram)*3)
+	for _, g := range gram {
+		b = append(b, byte(g), byte(g>>8), ',')
+	}
+	return string(b)
+}
+
+// Box is an axis-aligned detection with a class label.
+type Box struct {
+	X, Y, W, H float64
+	Class      int
+	Score      float64
+}
+
+// IoU computes intersection over union of two boxes.
+func IoU(a, b Box) float64 {
+	x1 := math.Max(a.X, b.X)
+	y1 := math.Max(a.Y, b.Y)
+	x2 := math.Min(a.X+a.W, b.X+b.W)
+	y2 := math.Min(a.Y+a.H, b.Y+b.H)
+	if x2 <= x1 || y2 <= y1 {
+		return 0
+	}
+	inter := (x2 - x1) * (y2 - y1)
+	union := a.W*a.H + b.W*b.H - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// DetectionF1 scores a faulty detection set against the golden set: greedy
+// one-to-one matching at IoU >= 0.5 with class agreement, returning the F1
+// of matched boxes. Identical sets score 1; an empty golden and faulty pair
+// scores 1.
+func DetectionF1(golden, faulty []Box) float64 {
+	if len(golden) == 0 && len(faulty) == 0 {
+		return 1
+	}
+	if len(golden) == 0 || len(faulty) == 0 {
+		return 0
+	}
+	used := make([]bool, len(golden))
+	matched := 0
+	for _, f := range faulty {
+		best, bestIoU := -1, 0.5
+		for i, g := range golden {
+			if used[i] || g.Class != f.Class {
+				continue
+			}
+			if iou := IoU(g, f); iou >= bestIoU {
+				best, bestIoU = i, iou
+			}
+		}
+		if best >= 0 {
+			used[best] = true
+			matched++
+		}
+	}
+	precision := float64(matched) / float64(len(faulty))
+	recall := float64(matched) / float64(len(golden))
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}
+
+// WithinTolerance reports whether a quality score stays within frac of the
+// fault-free score (the "< 10%/20% score difference" criteria of Table IV).
+// The fault-free score of a self-referential metric is 1.
+func WithinTolerance(score, frac float64) bool {
+	return score >= 1-frac
+}

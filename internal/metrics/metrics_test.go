@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fidelity/internal/tensor"
+)
+
+func TestTop1Match(t *testing.T) {
+	g := tensor.FromSlice([]float32{0.1, 0.7, 0.2}, 3)
+	f1 := tensor.FromSlice([]float32{0.2, 0.5, 0.3}, 3)
+	f2 := tensor.FromSlice([]float32{0.5, 0.2, 0.3}, 3)
+	if !Top1Match(g, f1) {
+		t.Error("same argmax should match")
+	}
+	if Top1Match(g, f2) {
+		t.Error("different argmax should not match")
+	}
+}
+
+func TestBLEUIdentity(t *testing.T) {
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if b := BLEU(s, s); b != 1 {
+		t.Errorf("self-BLEU = %v", b)
+	}
+}
+
+func TestBLEUProperties(t *testing.T) {
+	ref := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	oneOff := append([]int(nil), ref...)
+	oneOff[5] = 99
+	manyOff := []int{99, 98, 97, 96, 95, 94, 93, 92, 91, 90}
+	b1 := BLEU(ref, oneOff)
+	bm := BLEU(ref, manyOff)
+	if !(1 > b1 && b1 > bm) {
+		t.Errorf("BLEU ordering violated: 1 > %v > %v", b1, bm)
+	}
+	if bm > 0.2 {
+		t.Errorf("fully wrong sentence scored %v", bm)
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	short := ref[:4]
+	full := BLEU(ref, ref)
+	trunc := BLEU(ref, short)
+	if trunc >= full {
+		t.Errorf("truncation should be penalized: %v vs %v", trunc, full)
+	}
+}
+
+func TestBLEUEmpty(t *testing.T) {
+	if BLEU(nil, nil) != 1 {
+		t.Error("empty vs empty = 1")
+	}
+	if BLEU([]int{1, 2}, nil) != 0 {
+		t.Error("empty hypothesis = 0")
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 2, H: 2}
+	if iou := IoU(a, a); math.Abs(iou-1) > 1e-12 {
+		t.Errorf("self IoU = %v", iou)
+	}
+	b := Box{X: 1, Y: 1, W: 2, H: 2}
+	// Intersection 1, union 7.
+	if iou := IoU(a, b); math.Abs(iou-1.0/7) > 1e-12 {
+		t.Errorf("IoU = %v, want 1/7", iou)
+	}
+	c := Box{X: 5, Y: 5, W: 1, H: 1}
+	if IoU(a, c) != 0 {
+		t.Error("disjoint IoU must be 0")
+	}
+}
+
+func TestDetectionF1(t *testing.T) {
+	g := []Box{
+		{X: 0, Y: 0, W: 1, H: 1, Class: 0},
+		{X: 3, Y: 3, W: 1, H: 1, Class: 1},
+	}
+	if f := DetectionF1(g, g); f != 1 {
+		t.Errorf("self F1 = %v", f)
+	}
+	// One box missing: precision 1, recall 0.5, F1 = 2/3.
+	if f := DetectionF1(g, g[:1]); math.Abs(f-2.0/3) > 1e-9 {
+		t.Errorf("partial F1 = %v, want 2/3", f)
+	}
+	// Class mismatch kills the match.
+	wrong := []Box{{X: 0, Y: 0, W: 1, H: 1, Class: 1}, {X: 3, Y: 3, W: 1, H: 1, Class: 0}}
+	if f := DetectionF1(g, wrong); f != 0 {
+		t.Errorf("class-mismatched F1 = %v", f)
+	}
+	if DetectionF1(nil, nil) != 1 {
+		t.Error("empty/empty = 1")
+	}
+	if DetectionF1(g, nil) != 0 || DetectionF1(nil, g) != 0 {
+		t.Error("one-sided empty = 0")
+	}
+}
+
+// Greedy matching must be one-to-one: duplicated predictions can't inflate
+// the score.
+func TestDetectionF1OneToOne(t *testing.T) {
+	g := []Box{{X: 0, Y: 0, W: 1, H: 1, Class: 0}}
+	dup := []Box{
+		{X: 0, Y: 0, W: 1, H: 1, Class: 0},
+		{X: 0.01, Y: 0, W: 1, H: 1, Class: 0},
+	}
+	f := DetectionF1(g, dup)
+	// matched=1, precision=0.5, recall=1, F1=2/3.
+	if math.Abs(f-2.0/3) > 1e-9 {
+		t.Errorf("duplicate-prediction F1 = %v, want 2/3", f)
+	}
+}
+
+func TestWithinTolerance(t *testing.T) {
+	if !WithinTolerance(0.95, 0.1) {
+		t.Error("0.95 within 10%")
+	}
+	if WithinTolerance(0.85, 0.1) {
+		t.Error("0.85 not within 10%")
+	}
+	if !WithinTolerance(0.85, 0.2) {
+		t.Error("0.85 within 20%")
+	}
+}
+
+// Property: BLEU is symmetric-ish in degradation — adding noise monotonically
+// degrades the expected score.
+func TestBLEUDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]int, 30)
+	for i := range ref {
+		ref[i] = rng.Intn(50)
+	}
+	prev := 1.0
+	for _, corrupt := range []int{1, 5, 15, 30} {
+		var sum float64
+		for trial := 0; trial < 20; trial++ {
+			hyp := append([]int(nil), ref...)
+			for j := 0; j < corrupt; j++ {
+				hyp[rng.Intn(len(hyp))] = 50 + rng.Intn(50)
+			}
+			sum += BLEU(ref, hyp)
+		}
+		avg := sum / 20
+		if avg >= prev {
+			t.Errorf("BLEU did not degrade at corruption %d: %v >= %v", corrupt, avg, prev)
+		}
+		prev = avg
+	}
+}

@@ -1,0 +1,139 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// MultiHeadAttention implements scaled dot-product self-attention over a
+// (seq, dModel) input. The QKᵀ and attention·V products execute as MatMul
+// sites — the paper's "MatMul layer in attention" validation workload
+// (Table III) — while the Q/K/V/output projections are Dense (FC) sites.
+type MultiHeadAttention struct {
+	name   string
+	Heads  int
+	DModel int
+
+	WQ, WK, WV, WO *Dense
+	QK, AV         *MatMulSite
+	codec          numerics.Codec
+}
+
+// NewMultiHeadAttention builds an attention block. dModel must be divisible
+// by heads.
+func NewMultiHeadAttention(name string, dModel, heads int, codec numerics.Codec) *MultiHeadAttention {
+	if heads <= 0 || dModel%heads != 0 {
+		panic(fmt.Sprintf("nn: dModel %d not divisible by heads %d", dModel, heads))
+	}
+	dHead := dModel / heads
+	return &MultiHeadAttention{
+		name: name, Heads: heads, DModel: dModel,
+		WQ:    NewDense(name+"/wq", dModel, dModel, codec),
+		WK:    NewDense(name+"/wk", dModel, dModel, codec),
+		WV:    NewDense(name+"/wv", dModel, dModel, codec),
+		WO:    NewDense(name+"/wo", dModel, dModel, codec),
+		QK:    NewMatMulSite(name+"/qk", true, 1/float32(math.Sqrt(float64(dHead))), codec),
+		AV:    NewMatMulSite(name+"/av", false, 0, codec),
+		codec: codec,
+	}
+}
+
+// InitRandom fills all projection weights.
+func (l *MultiHeadAttention) InitRandom(rng *rand.Rand, stddev float32) *MultiHeadAttention {
+	l.WQ.InitRandom(rng, stddev)
+	l.WK.InitRandom(rng, stddev)
+	l.WV.InitRandom(rng, stddev)
+	l.WO.InitRandom(rng, stddev)
+	return l
+}
+
+// children lists sub-layers for site enumeration.
+func (l *MultiHeadAttention) children() []Layer {
+	return []Layer{l.WQ, l.WK, l.WV, l.QK, l.AV, l.WO}
+}
+
+// Name implements Layer.
+func (l *MultiHeadAttention) Name() string { return l.name }
+
+// Forward implements Layer over a (seq, dModel) input.
+func (l *MultiHeadAttention) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != l.DModel {
+		panic(fmt.Sprintf("nn: %s expects (seq,%d), got %v", l.name, l.DModel, x.Shape()))
+	}
+	seq := x.Dim(0)
+	q := l.WQ.Forward(x, ctx)
+	k := l.WK.Forward(x, ctx)
+	v := l.WV.Forward(x, ctx)
+
+	dHead := l.DModel / l.Heads
+	headsOut := make([]*tensor.Tensor, l.Heads)
+	for h := 0; h < l.Heads; h++ {
+		qh := sliceCols(q, h*dHead, dHead)
+		kh := sliceCols(k, h*dHead, dHead)
+		vh := sliceCols(v, h*dHead, dHead)
+		scores := l.QK.Run(qh, kh, ctx) // (seq, seq), scaled by 1/√dHead
+		attn := tensor.Softmax(scores)
+		headsOut[h] = l.AV.Run(attn, vh, ctx) // (seq, dHead)
+	}
+	concat := tensor.Concat(1, headsOut...)
+	out := l.WO.Forward(concat, ctx)
+	_ = seq
+	return out
+}
+
+// sliceCols copies columns [start, start+n) of a rank-2 tensor.
+func sliceCols(t *tensor.Tensor, start, n int) *tensor.Tensor {
+	rows := t.Dim(0)
+	out := tensor.New(rows, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < n; c++ {
+			out.Set(t.At(r, start+c), r, c)
+		}
+	}
+	return out
+}
+
+// FeedForward is the Transformer position-wise feed-forward block:
+// Dense→ReLU→Dense with a residual add and layer norm handled by the caller.
+type FeedForward struct {
+	name   string
+	Inner  *Dense
+	Outer  *Dense
+	Act    *Activation
+	DModel int
+}
+
+// NewFeedForward builds a position-wise FFN with hidden width dff.
+func NewFeedForward(name string, dModel, dff int, codec numerics.Codec) *FeedForward {
+	return &FeedForward{
+		name:   name,
+		Inner:  NewDense(name+"/ff1", dModel, dff, codec),
+		Outer:  NewDense(name+"/ff2", dff, dModel, codec),
+		Act:    NewReLU(name+"/relu", codec),
+		DModel: dModel,
+	}
+}
+
+// InitRandom fills both projections.
+func (l *FeedForward) InitRandom(rng *rand.Rand, stddev float32) *FeedForward {
+	l.Inner.InitRandom(rng, stddev)
+	l.Outer.InitRandom(rng, stddev)
+	return l
+}
+
+// children implements container.
+func (l *FeedForward) children() []Layer { return []Layer{l.Inner, l.Act, l.Outer} }
+
+// Name implements Layer.
+func (l *FeedForward) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *FeedForward) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	h := l.Inner.Forward(x, ctx)
+	h = l.Act.Forward(h, ctx)
+	return l.Outer.Forward(h, ctx)
+}

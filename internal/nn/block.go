@@ -1,0 +1,198 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// Residual computes Body(x) + Shortcut(x) (identity shortcut when Shortcut is
+// nil), the ResNet building block.
+type Residual struct {
+	name     string
+	Body     Layer
+	Shortcut Layer // nil means identity
+	codec    numerics.Codec
+}
+
+// NewResidual builds a residual block.
+func NewResidual(name string, body, shortcut Layer, codec numerics.Codec) *Residual {
+	return &Residual{name: name, Body: body, Shortcut: shortcut, codec: codec}
+}
+
+// Name implements Layer.
+func (l *Residual) Name() string { return l.name }
+
+// children implements container.
+func (l *Residual) children() []Layer { return []Layer{l.Body, l.Shortcut} }
+
+// Forward implements Layer.
+func (l *Residual) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	b := l.Body.Forward(x, ctx)
+	s := x
+	if l.Shortcut != nil {
+		s = l.Shortcut.Forward(x, ctx)
+	}
+	out := tensor.Add(b, s)
+	out.Apply(l.codec.Round)
+	return out
+}
+
+// Branches runs several paths on the same input and concatenates their
+// outputs along the channel axis — the Inception module topology.
+type Branches struct {
+	name  string
+	Paths []Layer
+	Axis  int
+}
+
+// NewBranches builds a branch-and-concat block (axis 3 = NHWC channels).
+func NewBranches(name string, axis int, paths ...Layer) *Branches {
+	if len(paths) == 0 {
+		panic("nn: Branches requires at least one path")
+	}
+	return &Branches{name: name, Paths: paths, Axis: axis}
+}
+
+// Name implements Layer.
+func (l *Branches) Name() string { return l.name }
+
+// children implements container.
+func (l *Branches) children() []Layer { return l.Paths }
+
+// Forward implements Layer.
+func (l *Branches) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	outs := make([]*tensor.Tensor, len(l.Paths))
+	for i, p := range l.Paths {
+		outs[i] = p.Forward(x, ctx)
+	}
+	return tensor.Concat(l.Axis, outs...)
+}
+
+// BatchNorm applies a folded batch normalization: per-channel scale and
+// shift (inference-time form). Operates on the last dimension.
+type BatchNorm struct {
+	name         string
+	Scale, Shift *tensor.Tensor
+	codec        numerics.Codec
+}
+
+// NewBatchNorm builds a folded batch-norm over c channels, initialized to
+// identity.
+func NewBatchNorm(name string, c int, codec numerics.Codec) *BatchNorm {
+	l := &BatchNorm{name: name, Scale: tensor.New(c), Shift: tensor.New(c), codec: codec}
+	l.Scale.Fill(1)
+	return l
+}
+
+// InitRandom perturbs scale and shift to mimic trained statistics.
+func (l *BatchNorm) InitRandom(rng *rand.Rand) *BatchNorm {
+	for i := 0; i < l.Scale.Size(); i++ {
+		l.Scale.Set(0.8+0.4*rng.Float32(), i)
+		l.Shift.Set(0.2*float32(rng.NormFloat64()), i)
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *BatchNorm) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *BatchNorm) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	c := x.Dim(x.Rank() - 1)
+	if c != l.Scale.Size() {
+		panic(fmt.Sprintf("nn: %s expects %d channels, got %v", l.name, l.Scale.Size(), x.Shape()))
+	}
+	out := x.Clone()
+	data := out.Data()
+	for i := range data {
+		ch := i % c
+		data[i] = l.codec.Round(data[i]*l.Scale.At(ch) + l.Shift.At(ch))
+	}
+	return out
+}
+
+// LayerNorm normalizes over the last dimension with learned scale/shift —
+// the Transformer normalization.
+type LayerNorm struct {
+	name         string
+	Scale, Shift *tensor.Tensor
+	Eps          float32
+}
+
+// NewLayerNorm builds a layer norm over dim features, initialized to
+// identity.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	l := &LayerNorm{name: name, Scale: tensor.New(dim), Shift: tensor.New(dim), Eps: 1e-5}
+	l.Scale.Fill(1)
+	return l
+}
+
+// Name implements Layer.
+func (l *LayerNorm) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	d := x.Dim(x.Rank() - 1)
+	if d != l.Scale.Size() {
+		panic(fmt.Sprintf("nn: %s expects %d features, got %v", l.name, l.Scale.Size(), x.Shape()))
+	}
+	rows := x.Size() / d
+	out := x.Clone()
+	data := out.Data()
+	for r := 0; r < rows; r++ {
+		row := data[r*d : (r+1)*d]
+		var mean float64
+		for _, v := range row {
+			mean += float64(v)
+		}
+		mean /= float64(d)
+		var varsum float64
+		for _, v := range row {
+			dv := float64(v) - mean
+			varsum += dv * dv
+		}
+		inv := 1 / float32(math.Sqrt(varsum/float64(d)+float64(l.Eps)))
+		for i, v := range row {
+			row[i] = (v-float32(mean))*inv*l.Scale.At(i) + l.Shift.At(i)
+		}
+	}
+	return out
+}
+
+// ZeroPad pads an NHWC tensor spatially by P on each side.
+type ZeroPad struct {
+	name string
+	P    int
+}
+
+// NewZeroPad builds a spatial zero-padding layer.
+func NewZeroPad(name string, p int) *ZeroPad { return &ZeroPad{name: name, P: p} }
+
+// Name implements Layer.
+func (l *ZeroPad) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *ZeroPad) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	return tensor.Pad2D(x, l.P)
+}
+
+// Flatten reshapes (N, ...) to (N, features).
+type Flatten struct {
+	name string
+}
+
+// NewFlatten builds a flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}

@@ -1,0 +1,276 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NHWC input with weights laid out
+// (KH, KW, InC, OutC). It is the primary fault-injection site for CNN
+// workloads: in NVDLA the convolution pipeline (CDMA→CBUF→CMAC→CACC)
+// executes exactly this operation.
+type Conv2D struct {
+	name      string
+	KH, KW    int
+	InC, OutC int
+	Stride    int
+	Pad       int
+	Depthwise bool // when true, OutC == InC and weights are (KH, KW, InC, 1)
+
+	W *tensor.Tensor
+	B *tensor.Tensor // length OutC, may be nil
+
+	codec numerics.Codec
+}
+
+// NewConv2D builds a convolution layer with zero weights; use InitRandom or
+// assign W/B to populate parameters.
+func NewConv2D(name string, kh, kw, inC, outC, stride, pad int, codec numerics.Codec) *Conv2D {
+	if kh <= 0 || kw <= 0 || inC <= 0 || outC <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D geometry k=%dx%d c=%d->%d s=%d p=%d", kh, kw, inC, outC, stride, pad))
+	}
+	return &Conv2D{
+		name: name, KH: kh, KW: kw, InC: inC, OutC: outC, Stride: stride, Pad: pad,
+		W:     tensor.New(kh, kw, inC, outC),
+		B:     tensor.New(outC),
+		codec: codec,
+	}
+}
+
+// NewDepthwiseConv2D builds a depthwise convolution (one filter per channel),
+// the building block of MobileNet.
+func NewDepthwiseConv2D(name string, kh, kw, c, stride, pad int, codec numerics.Codec) *Conv2D {
+	l := NewConv2D(name, kh, kw, c, c, stride, pad, codec)
+	l.Depthwise = true
+	l.W = tensor.New(kh, kw, c, 1)
+	return l
+}
+
+// InitRandom fills weights with N(0, stddev²) and biases with small values.
+func (l *Conv2D) InitRandom(rng *rand.Rand, stddev float32) *Conv2D {
+	l.W.RandNormal(rng, stddev)
+	if l.B != nil {
+		l.B.RandNormal(rng, stddev/4)
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *Conv2D) Name() string { return l.name }
+
+// Kind implements Site.
+func (l *Conv2D) Kind() Kind { return KindConv }
+
+// Codec implements Site.
+func (l *Conv2D) Codec() numerics.Codec { return l.codec }
+
+// OutputShape returns the NHWC output shape for an NHWC input shape.
+func (l *Conv2D) OutputShape(in []int) []int {
+	n, h, w := in[0], in[1], in[2]
+	oh := (h+2*l.Pad-l.KH)/l.Stride + 1
+	ow := (w+2*l.Pad-l.KW)/l.Stride + 1
+	return []int{n, oh, ow, l.OutC}
+}
+
+// Forward implements Layer. The fast path below pre-rounds both operand
+// buffers once and accumulates with MulPre; it is bit-identical to calling
+// ComputeNeuron per output neuron (the per-channel accumulation order is the
+// same, and MulPre(Round(a), Round(b)) == Mul(a, b)).
+func (l *Conv2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(3) != l.InC {
+		panic(fmt.Sprintf("nn: %s expects NHWC input with %d channels, got %v", l.name, l.InC, x.Shape()))
+	}
+	os := l.OutputShape(x.Shape())
+	out := tensor.New(os...)
+	op := &Operands{In: x, W: l.W, B: l.B, Out: out}
+
+	rin := l.codec.RoundSlice(x.Data())
+	rw := l.codec.RoundSlice(l.W.Data())
+	fp16 := l.codec.Precision() == numerics.FP16
+	od := out.Data()
+	n, oh, ow, outC := os[0], os[1], os[2], os[3]
+	h, wd, inC := x.Dim(1), x.Dim(2), l.InC
+	accs := make([]float32, outC)
+
+	for b := 0; b < n; b++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				for c := range accs {
+					accs[c] = 0
+				}
+				for ky := 0; ky < l.KH; ky++ {
+					iy := oy*l.Stride + ky - l.Pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < l.KW; kx++ {
+						ix := ox*l.Stride + kx - l.Pad
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						inBase := ((b*h+iy)*wd + ix) * inC
+						if l.Depthwise {
+							wBase := (ky*l.KW + kx) * inC
+							for c := 0; c < outC; c++ {
+								p := rin[inBase+c] * rw[wBase+c]
+								if fp16 {
+									p = numerics.RoundHalf(p)
+								}
+								accs[c] += p
+							}
+							continue
+						}
+						for ic := 0; ic < inC; ic++ {
+							av := rin[inBase+ic]
+							wBase := ((ky*l.KW+kx)*inC + ic) * outC
+							wrow := rw[wBase : wBase+outC]
+							if fp16 {
+								for c, wv := range wrow {
+									accs[c] += numerics.RoundHalf(av * wv)
+								}
+							} else {
+								for c, wv := range wrow {
+									accs[c] += av * wv
+								}
+							}
+						}
+					}
+				}
+				outBase := ((b*oh+oy)*ow + ox) * outC
+				for c := 0; c < outC; c++ {
+					acc := accs[c]
+					if l.B != nil {
+						acc += l.B.Data()[c]
+					}
+					od[outBase+c] = l.codec.Saturate(acc)
+				}
+			}
+		}
+	}
+	ctx.fire(l, op)
+	return out
+}
+
+// ComputeNeuron implements Site. The accumulation order is (kh, kw, ic)
+// row-major, matching both the software convolution and the rtlsim MAC
+// sequencing so that faulty values agree bit-for-bit.
+func (l *Conv2D) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
+	b, oy, ox, oc := idx[0], idx[1], idx[2], idx[3]
+	in := op.In
+	w := op.W
+	h, wd := in.Dim(1), in.Dim(2)
+	var acc float32
+	for ky := 0; ky < l.KH; ky++ {
+		iy := oy*l.Stride + ky - l.Pad
+		if iy < 0 || iy >= h {
+			continue
+		}
+		for kx := 0; kx < l.KW; kx++ {
+			ix := ox*l.Stride + kx - l.Pad
+			if ix < 0 || ix >= wd {
+				continue
+			}
+			if l.Depthwise {
+				av := in.At(b, iy, ix, oc)
+				if ov != nil && ov.Kind == OperandInput && in.Offset(b, iy, ix, oc) == ov.Flat {
+					av = ov.Value
+				}
+				wv := w.At(ky, kx, oc, 0)
+				if ov != nil && ov.Kind == OperandWeight && w.Offset(ky, kx, oc, 0) == ov.Flat {
+					wv = ov.Value
+				}
+				acc += l.codec.Mul(av, wv)
+				continue
+			}
+			for ic := 0; ic < l.InC; ic++ {
+				av := in.At(b, iy, ix, ic)
+				if ov != nil && ov.Kind == OperandInput && in.Offset(b, iy, ix, ic) == ov.Flat {
+					av = ov.Value
+				}
+				wv := w.At(ky, kx, ic, oc)
+				if ov != nil && ov.Kind == OperandWeight && w.Offset(ky, kx, ic, oc) == ov.Flat {
+					wv = ov.Value
+				}
+				acc += l.codec.Mul(av, wv)
+			}
+		}
+	}
+	if op.B != nil {
+		bv := op.B.At(oc)
+		if ov != nil && ov.Kind == OperandBias && oc == ov.Flat {
+			bv = ov.Value
+		}
+		acc += bv
+	}
+	return l.codec.Saturate(acc)
+}
+
+// NeuronsUsingOperand implements Site.
+func (l *Conv2D) NeuronsUsingOperand(op *Operands, kind OperandKind, flat int) [][]int {
+	os := l.OutputShape(op.In.Shape())
+	n, oh, ow := os[0], os[1], os[2]
+	var out [][]int
+	switch kind {
+	case OperandInput:
+		ii := op.In.Unflatten(flat)
+		b, iy, ix := ii[0], ii[1], ii[2]
+		ic := ii[3]
+		// Output rows oy with oy*Stride + ky - Pad == iy for some ky in [0,KH).
+		for oy := 0; oy < oh; oy++ {
+			ky := iy - oy*l.Stride + l.Pad
+			if ky < 0 || ky >= l.KH {
+				continue
+			}
+			for ox := 0; ox < ow; ox++ {
+				kx := ix - ox*l.Stride + l.Pad
+				if kx < 0 || kx >= l.KW {
+					continue
+				}
+				if l.Depthwise {
+					out = append(out, []int{b, oy, ox, ic})
+					continue
+				}
+				for oc := 0; oc < l.OutC; oc++ {
+					out = append(out, []int{b, oy, ox, oc})
+				}
+			}
+		}
+	case OperandWeight:
+		wi := l.W.Unflatten(flat)
+		if l.Depthwise {
+			c := wi[2]
+			for b := 0; b < n; b++ {
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						out = append(out, []int{b, oy, ox, c})
+					}
+				}
+			}
+			break
+		}
+		oc := wi[3]
+		// Every spatial position of output channel oc, all batches.
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					out = append(out, []int{b, oy, ox, oc})
+				}
+			}
+		}
+	case OperandBias:
+		oc := flat
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					out = append(out, []int{b, oy, ox, oc})
+				}
+			}
+		}
+	case OperandOutput:
+		out = append(out, op.Out.Unflatten(flat))
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+func TestActivations(t *testing.T) {
+	c := fp32Codec()
+	x := tensor.FromSlice([]float32{-2, -0.5, 0, 0.5, 2, 8}, 6)
+
+	relu := NewReLU("r", c).Forward(x, nil)
+	wantRelu := []float32{0, 0, 0, 0.5, 2, 8}
+	for i, w := range wantRelu {
+		if relu.At(i) != w {
+			t.Errorf("relu[%d] = %v, want %v", i, relu.At(i), w)
+		}
+	}
+
+	leaky := NewLeakyReLU("l", 0.1, c).Forward(x, nil)
+	if leaky.At(0) != -0.2 || leaky.At(4) != 2 {
+		t.Errorf("leaky = %v", leaky.Data())
+	}
+
+	r6 := NewRelu6("r6", c).Forward(x, nil)
+	if r6.At(5) != 6 || r6.At(0) != 0 || r6.At(4) != 2 {
+		t.Errorf("relu6 = %v", r6.Data())
+	}
+
+	sig := NewSigmoid("s", c).Forward(x, nil)
+	if math.Abs(float64(sig.At(2)-0.5)) > 1e-6 {
+		t.Errorf("sigmoid(0) = %v", sig.At(2))
+	}
+	if sig.At(0) >= sig.At(4) {
+		t.Error("sigmoid not monotone")
+	}
+
+	tanh := NewTanh("t", c).Forward(x, nil)
+	if tanh.At(2) != 0 || tanh.At(4) <= 0 || tanh.At(0) >= 0 {
+		t.Errorf("tanh = %v", tanh.Data())
+	}
+}
+
+func TestSoftmaxLayer(t *testing.T) {
+	s := NewSoftmax("sm")
+	y := s.Forward(tensor.FromSlice([]float32{0, 1, 2}, 1, 3), nil)
+	var sum float32
+	for _, v := range y.Data() {
+		sum += v
+	}
+	if math.Abs(float64(sum-1)) > 1e-5 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 4, 4, 1)
+	y := NewMaxPool("p", 2, 2).Forward(x, nil)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Errorf("maxpool[%d] = %v, want %v", i, y.Data()[i], w)
+		}
+	}
+}
+
+// Max pooling masks non-maximal perturbations — the masking property the
+// paper's outcome statistics depend on.
+func TestMaxPoolMasksSmallFaults(t *testing.T) {
+	x := tensor.New(1, 2, 2, 1)
+	x.Set(10, 0, 0, 0, 0)
+	x.Set(1, 0, 0, 1, 0)
+	p := NewMaxPool("p", 2, 2)
+	golden := p.Forward(x, nil)
+	x.Set(5, 0, 0, 1, 0) // fault below the max: masked
+	if !p.Forward(x, nil).Equal(golden) {
+		t.Error("sub-max fault should be masked by max pooling")
+	}
+	x.Set(50, 0, 0, 1, 0) // fault above the max: propagates
+	if p.Forward(x, nil).Equal(golden) {
+		t.Error("super-max fault should propagate")
+	}
+}
+
+func TestAvgPoolAndGlobal(t *testing.T) {
+	c := fp32Codec()
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2, 1)
+	y := NewAvgPool("a", 2, 2, c).Forward(x, nil)
+	if y.At(0, 0, 0, 0) != 2.5 {
+		t.Errorf("avgpool = %v", y.Data())
+	}
+	g := NewGlobalAvgPool("g", c).Forward(x, nil)
+	if g.At(0, 0) != 2.5 {
+		t.Errorf("global avgpool = %v", g.Data())
+	}
+}
+
+func TestResidualIdentity(t *testing.T) {
+	c := fp32Codec()
+	l := NewConv2D("c", 1, 1, 1, 1, 1, 0, c)
+	l.W.Set(2, 0, 0, 0, 0) // doubles input
+	r := NewResidual("res", l, nil, c)
+	x := tensor.FromSlice([]float32{1, 3}, 1, 1, 2, 1)
+	y := r.Forward(x, nil)
+	if y.At(0, 0, 0, 0) != 3 || y.At(0, 0, 1, 0) != 9 {
+		t.Errorf("residual = %v", y.Data())
+	}
+}
+
+func TestResidualProjectionShortcut(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(1))
+	body := NewConv2D("b", 1, 1, 2, 4, 1, 0, c).InitRandom(rng, 1)
+	short := NewConv2D("s", 1, 1, 2, 4, 1, 0, c).InitRandom(rng, 1)
+	r := NewResidual("res", body, short, c)
+	x := tensor.New(1, 2, 2, 2)
+	x.RandNormal(rng, 1)
+	y := r.Forward(x, nil)
+	ref := tensor.Add(body.Forward(x, nil), short.Forward(x, nil))
+	if diffs := y.DiffIndices(ref, 1e-5); len(diffs) != 0 {
+		t.Error("projection residual mismatch")
+	}
+}
+
+func TestBranchesConcat(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(2))
+	p1 := NewConv2D("p1", 1, 1, 2, 3, 1, 0, c).InitRandom(rng, 1)
+	p2 := NewConv2D("p2", 1, 1, 2, 5, 1, 0, c).InitRandom(rng, 1)
+	br := NewBranches("inc", 3, p1, p2)
+	x := tensor.New(1, 2, 2, 2)
+	x.RandNormal(rng, 1)
+	y := br.Forward(x, nil)
+	if y.Dim(3) != 8 {
+		t.Fatalf("concat channels = %d, want 8", y.Dim(3))
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	c := fp32Codec()
+	bn := NewBatchNorm("bn", 2, c)
+	bn.Scale.Set(2, 0)
+	bn.Shift.Set(1, 1)
+	x := tensor.FromSlice([]float32{3, 4}, 1, 1, 1, 2)
+	y := bn.Forward(x, nil)
+	if y.At(0, 0, 0, 0) != 6 || y.At(0, 0, 0, 1) != 5 {
+		t.Errorf("batchnorm = %v", y.Data())
+	}
+}
+
+func TestLayerNorm(t *testing.T) {
+	ln := NewLayerNorm("ln", 4)
+	x := tensor.FromSlice([]float32{1, 2, 3, 4}, 1, 4)
+	y := ln.Forward(x, nil)
+	var mean, variance float64
+	for _, v := range y.Data() {
+		mean += float64(v)
+	}
+	mean /= 4
+	for _, v := range y.Data() {
+		variance += (float64(v) - mean) * (float64(v) - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+		t.Errorf("layernorm mean=%v var=%v", mean, variance)
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	f := NewFlatten("f")
+	y := f.Forward(tensor.New(2, 3, 4), nil)
+	if y.Dim(0) != 2 || y.Dim(1) != 12 {
+		t.Errorf("flatten = %v", y.Shape())
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(3))
+	conv := NewConv2D("c", 3, 3, 1, 2, 1, 1, c).InitRandom(rng, 1)
+	seq := NewSequential("net", conv, NewReLU("r", c), NewMaxPool("p", 2, 2))
+	x := tensor.New(1, 4, 4, 1)
+	x.RandNormal(rng, 1)
+	y := seq.Forward(x, nil)
+	if y.Dim(1) != 2 || y.Dim(2) != 2 || y.Dim(3) != 2 {
+		t.Fatalf("sequential shape = %v", y.Shape())
+	}
+	for _, v := range y.Data() {
+		if v < 0 {
+			t.Error("relu output must be non-negative")
+		}
+	}
+}
+
+func TestMultiHeadAttention(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(4))
+	mha := NewMultiHeadAttention("attn", 8, 2, c).InitRandom(rng, 0.3)
+	x := tensor.New(5, 8)
+	x.RandNormal(rng, 1)
+	y := mha.Forward(x, nil)
+	if y.Dim(0) != 5 || y.Dim(1) != 8 {
+		t.Fatalf("attention shape = %v", y.Shape())
+	}
+	// Deterministic.
+	if !mha.Forward(x, nil).Equal(y) {
+		t.Error("attention must be deterministic")
+	}
+}
+
+func TestAttentionSiteEnumeration(t *testing.T) {
+	c := fp32Codec()
+	mha := NewMultiHeadAttention("attn", 8, 2, c)
+	sites := Sites(mha)
+	// 4 Dense + 2 MatMul sites.
+	if len(sites) != 6 {
+		t.Fatalf("attention sites = %d, want 6", len(sites))
+	}
+	kinds := map[Kind]int{}
+	for _, s := range sites {
+		kinds[s.Kind()]++
+	}
+	if kinds[KindFC] != 4 || kinds[KindMatMul] != 2 {
+		t.Errorf("site kinds = %v", kinds)
+	}
+}
+
+func TestLSTMForward(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(5))
+	l := NewLSTM("lstm", 3, 4, c).InitRandom(rng, 0.5)
+	x := tensor.New(6, 3)
+	x.RandNormal(rng, 1)
+	y := l.Forward(x, nil)
+	if y.Dim(0) != 1 || y.Dim(1) != 4 {
+		t.Fatalf("lstm shape = %v", y.Shape())
+	}
+	for _, v := range y.Data() {
+		if v < -1 || v > 1 {
+			t.Errorf("lstm hidden %v outside tanh range", v)
+		}
+	}
+	// The gate Dense fires once per timestep.
+	count := 0
+	l.Forward(x, NewContext(func(site Layer, visit int, op *Operands) {
+		if visit != count {
+			t.Errorf("visit = %d, want %d", visit, count)
+		}
+		count++
+	}))
+	if count != 6 {
+		t.Errorf("gate executions = %d, want 6", count)
+	}
+}
+
+func TestHookFiresWithOperands(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(6))
+	conv := NewConv2D("c", 3, 3, 1, 2, 1, 1, c).InitRandom(rng, 1)
+	x := tensor.New(1, 4, 4, 1)
+	x.RandNormal(rng, 1)
+	fired := false
+	conv.Forward(x, NewContext(func(site Layer, visit int, op *Operands) {
+		fired = true
+		if site != Layer(conv) {
+			t.Error("hook site mismatch")
+		}
+		if op.In != x || op.W != conv.W || op.Out == nil {
+			t.Error("hook operands incomplete")
+		}
+		// Patch the output; the caller must observe the patch.
+		op.Out.Data()[0] = 12345
+	}))
+	if !fired {
+		t.Fatal("hook did not fire")
+	}
+	y := conv.Forward(x, NewContext(func(site Layer, visit int, op *Operands) {
+		op.Out.Data()[0] = 12345
+	}))
+	if y.Data()[0] != 12345 {
+		t.Error("output patch not visible to caller")
+	}
+}
+
+func TestNetworkTraceAndSites(t *testing.T) {
+	c := fp32Codec()
+	rng := rand.New(rand.NewSource(7))
+	conv := NewConv2D("conv1", 3, 3, 1, 4, 1, 1, c).InitRandom(rng, 0.5)
+	fcl := NewDense("fc1", 4*4*4, 10, c).InitRandom(rng, 0.2)
+	net := NewNetwork("tiny", NewSequential("tiny",
+		conv, NewReLU("r1", c), NewFlatten("f"), fcl,
+	), c)
+	if len(net.Sites()) != 2 {
+		t.Fatalf("sites = %d, want 2", len(net.Sites()))
+	}
+	if _, err := net.SiteByName("conv1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := net.SiteByName("nope"); err == nil {
+		t.Error("missing site should error")
+	}
+	x := tensor.New(1, 4, 4, 1)
+	x.RandNormal(rng, 1)
+	out, execs := net.Trace(x)
+	if out.Dim(1) != 10 {
+		t.Fatalf("trace output shape = %v", out.Shape())
+	}
+	if len(execs) != 2 {
+		t.Fatalf("trace execs = %d, want 2", len(execs))
+	}
+	if execs[0].Site.Name() != "conv1" || execs[1].Site.Name() != "fc1" {
+		t.Errorf("exec order: %s, %s", execs[0].Site.Name(), execs[1].Site.Name())
+	}
+	if execs[0].OutSize != 4*4*4 || execs[1].OutSize != 10 {
+		t.Errorf("exec sizes: %d, %d", execs[0].OutSize, execs[1].OutSize)
+	}
+}
+
+func TestQuantizedNetworkOutputsRepresentable(t *testing.T) {
+	codec := numerics.MustCodec(numerics.INT16, 16)
+	rng := rand.New(rand.NewSource(8))
+	conv := NewConv2D("c", 3, 3, 1, 2, 1, 1, codec).InitRandom(rng, 0.3)
+	x := tensor.New(1, 4, 4, 1)
+	x.RandNormal(rng, 1)
+	y := conv.Forward(x, nil)
+	for _, v := range y.Data() {
+		if codec.Round(v) != v {
+			t.Fatalf("INT16 conv output %v not representable", v)
+		}
+	}
+}
+
+func TestKindAndOperandStrings(t *testing.T) {
+	if KindConv.String() != "Conv" || KindFC.String() != "FC" || KindMatMul.String() != "MatMul" || KindOther.String() != "Other" {
+		t.Error("Kind strings wrong")
+	}
+	if OperandInput.String() != "input" || OperandWeight.String() != "weight" ||
+		OperandBias.String() != "bias" || OperandOutput.String() != "output" {
+		t.Error("OperandKind strings wrong")
+	}
+	if OperandKind(9).String() == "" {
+		t.Error("unknown operand string empty")
+	}
+}
+
+func TestClampActivation(t *testing.T) {
+	c := fp32Codec()
+	cl := NewClamp("cl", 5, c)
+	y := cl.Forward(tensor.FromSlice([]float32{-100, -2, 0, 3, 1000}, 5), nil)
+	want := []float32{-5, -2, 0, 3, 5}
+	for i, w := range want {
+		if y.At(i) != w {
+			t.Errorf("clamp[%d] = %v, want %v", i, y.At(i), w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive bound should panic")
+		}
+	}()
+	NewClamp("bad", 0, c)
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// Network pairs a layer graph with the datapath precision it executes at and
+// gives the fault-injection engine a stable view of its injection sites.
+type Network struct {
+	// NetName identifies the network (e.g. "inception-lite").
+	NetName string
+	// Root is the layer graph.
+	Root Layer
+	// Precision is the datapath number format the network runs at.
+	Precision numerics.Precision
+	// Codec is the calibrated codec shared by all compute layers.
+	Codec numerics.Codec
+
+	sites []Site
+}
+
+// NewNetwork wraps a layer graph.
+func NewNetwork(name string, root Layer, codec numerics.Codec) *Network {
+	return &Network{
+		NetName:   name,
+		Root:      root,
+		Precision: codec.Precision(),
+		Codec:     codec,
+		sites:     Sites(root),
+	}
+}
+
+// Name returns the network name.
+func (n *Network) Name() string { return n.NetName }
+
+// Sites returns the injection sites in graph order.
+func (n *Network) Sites() []Site { return n.sites }
+
+// SiteByName returns the site with the given name.
+func (n *Network) SiteByName(name string) (Site, error) {
+	for _, s := range n.sites {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("nn: network %s has no site %q", n.NetName, name)
+}
+
+// Forward runs a clean inference.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return n.Root.Forward(x, nil)
+}
+
+// ForwardWithHook runs an inference with an injection hook installed at all
+// compute sites.
+func (n *Network) ForwardWithHook(x *tensor.Tensor, hook Hook) *tensor.Tensor {
+	return n.Root.Forward(x, NewContext(hook))
+}
+
+// SiteExecution captures one execution of a site during a forward pass:
+// operand shapes plus the output, for fault-site sampling.
+type SiteExecution struct {
+	Site     Site
+	Visit    int
+	InShape  []int
+	WShape   []int
+	BSize    int
+	OutSize  int
+	OutShape []int
+}
+
+// Trace runs a clean forward pass and records every site execution, so a
+// campaign can sample fault sites proportionally to the work each site
+// performs.
+func (n *Network) Trace(x *tensor.Tensor) (*tensor.Tensor, []SiteExecution) {
+	var execs []SiteExecution
+	out := n.ForwardWithHook(x, func(site Layer, visit int, op *Operands) {
+		e := SiteExecution{Visit: visit, OutSize: op.Out.Size(), OutShape: append([]int(nil), op.Out.Shape()...)}
+		if s, ok := site.(Site); ok {
+			e.Site = s
+		}
+		if op.In != nil {
+			e.InShape = append([]int(nil), op.In.Shape()...)
+		}
+		if op.W != nil {
+			e.WShape = append([]int(nil), op.W.Shape()...)
+		}
+		if op.B != nil {
+			e.BSize = op.B.Size()
+		}
+		execs = append(execs, e)
+	})
+	return out, execs
+}

@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// MaxPool is a 2-D max pooling layer over NHWC input. Max pooling masks
+// faulty neurons that are not the window maximum — one of the error-masking
+// mechanisms FIdelity's outcome statistics capture.
+type MaxPool struct {
+	name         string
+	Size, Stride int
+}
+
+// NewMaxPool builds a max-pooling layer.
+func NewMaxPool(name string, size, stride int) *MaxPool {
+	if size <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: invalid MaxPool size=%d stride=%d", size, stride))
+	}
+	return &MaxPool{name: name, Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (l *MaxPool) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *MaxPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-l.Size)/l.Stride + 1
+	ow := (w-l.Size)/l.Stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: %s input %v too small for pool %d/%d", l.name, x.Shape(), l.Size, l.Stride))
+	}
+	out := tensor.New(n, oh, ow, c)
+	for b := 0; b < n; b++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				for ch := 0; ch < c; ch++ {
+					m := float32(math.Inf(-1))
+					for py := 0; py < l.Size; py++ {
+						for px := 0; px < l.Size; px++ {
+							v := x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
+							if v > m {
+								m = v
+							}
+						}
+					}
+					out.Set(m, b, y, xx, ch)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool is a 2-D average pooling layer.
+type AvgPool struct {
+	name         string
+	Size, Stride int
+	codec        numerics.Codec
+}
+
+// NewAvgPool builds an average-pooling layer.
+func NewAvgPool(name string, size, stride int, codec numerics.Codec) *AvgPool {
+	if size <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("nn: invalid AvgPool size=%d stride=%d", size, stride))
+	}
+	return &AvgPool{name: name, Size: size, Stride: stride, codec: codec}
+}
+
+// Name implements Layer.
+func (l *AvgPool) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *AvgPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-l.Size)/l.Stride + 1
+	ow := (w-l.Size)/l.Stride + 1
+	out := tensor.New(n, oh, ow, c)
+	inv := 1 / float32(l.Size*l.Size)
+	for b := 0; b < n; b++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				for ch := 0; ch < c; ch++ {
+					var s float32
+					for py := 0; py < l.Size; py++ {
+						for px := 0; px < l.Size; px++ {
+							s += x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
+						}
+					}
+					out.Set(l.codec.Round(s*inv), b, y, xx, ch)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool averages each channel over all spatial positions, producing
+// (N, C). Used ahead of the classifier head in the CNN models.
+type GlobalAvgPool struct {
+	name  string
+	codec numerics.Codec
+}
+
+// NewGlobalAvgPool builds a global average pooling layer.
+func NewGlobalAvgPool(name string, codec numerics.Codec) *GlobalAvgPool {
+	return &GlobalAvgPool{name: name, codec: codec}
+}
+
+// Name implements Layer.
+func (l *GlobalAvgPool) Name() string { return l.name }
+
+// Forward implements Layer.
+func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	out := tensor.New(n, c)
+	inv := 1 / float32(h*w)
+	for b := 0; b < n; b++ {
+		for ch := 0; ch < c; ch++ {
+			var s float64
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					s += float64(x.At(b, y, xx, ch))
+				}
+			}
+			out.Set(l.codec.Round(float32(s)*inv), b, ch)
+		}
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package numerics
+
+import "fmt"
+
+// Precision identifies a datapath number format. NVDLA supports FP16 and
+// INT16/INT8 fixed point; the paper's large-scale study (Table IV) sweeps
+// all three for the CNN workloads.
+type Precision int
+
+const (
+	// FP32 is the reference precision used for golden software math.
+	FP32 Precision = iota
+	// FP16 is IEEE-754 binary16.
+	FP16
+	// INT16 is 16-bit affine-quantized fixed point.
+	INT16
+	// INT8 is 8-bit affine-quantized fixed point.
+	INT8
+)
+
+// String returns the conventional name of the precision.
+func (p Precision) String() string {
+	switch p {
+	case FP32:
+		return "FP32"
+	case FP16:
+		return "FP16"
+	case INT16:
+		return "INT16"
+	case INT8:
+		return "INT8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// Bits returns the width of the stored encoding, i.e. the number of
+// flip-flops one value of this precision occupies in a datapath register.
+func (p Precision) Bits() int {
+	switch p {
+	case FP32:
+		return 32
+	case FP16, INT16:
+		return 16
+	case INT8:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// ParsePrecision converts a name such as "fp16" or "INT8" to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "fp32", "FP32":
+		return FP32, nil
+	case "fp16", "FP16":
+		return FP16, nil
+	case "int16", "INT16":
+		return INT16, nil
+	case "int8", "INT8":
+		return INT8, nil
+	}
+	return 0, fmt.Errorf("numerics: unknown precision %q", s)
+}

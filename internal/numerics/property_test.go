@@ -1,0 +1,95 @@
+package numerics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for every codec, Decode(Encode(x)) == Round(x), Encode stays
+// within the declared bit width, and MulPre on pre-rounded operands equals
+// Mul on raw operands.
+func TestCodecAlgebraAllPrecisions(t *testing.T) {
+	codecs := []Codec{
+		MustCodec(FP32, 0),
+		MustCodec(FP16, 0),
+		MustCodec(INT16, 8),
+		MustCodec(INT8, 8),
+	}
+	rng := rand.New(rand.NewSource(61))
+	for _, c := range codecs {
+		for i := 0; i < 3000; i++ {
+			x := float32(rng.NormFloat64() * 4)
+			y := float32(rng.NormFloat64() * 4)
+
+			enc := c.Encode(x)
+			if c.Bits() < 32 && enc >= 1<<uint(c.Bits()) {
+				t.Fatalf("%v: Encode(%v) = %#x exceeds %d bits", c.Precision(), x, enc, c.Bits())
+			}
+			if got, want := c.Decode(enc), c.Round(x); got != want {
+				t.Fatalf("%v: Decode(Encode(%v)) = %v, want %v", c.Precision(), x, got, want)
+			}
+			if got, want := c.MulPre(c.Round(x), c.Round(y)), c.Mul(x, y); got != want {
+				t.Fatalf("%v: MulPre(Round,Round) = %v, Mul = %v", c.Precision(), got, want)
+			}
+		}
+	}
+}
+
+// Property: RoundSlice(x)[i] == Round(x[i]) and input is not mutated.
+func TestRoundSliceProperty(t *testing.T) {
+	c := MustCodec(FP16, 0)
+	f := func(raw []float32) bool {
+		in := append([]float32(nil), raw...)
+		out := c.RoundSlice(in)
+		if len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			if in[i] != raw[i] {
+				return false // mutated input
+			}
+			want := c.Round(raw[i])
+			if out[i] != want && !(math.IsNaN(float64(out[i])) && math.IsNaN(float64(want))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: saturation is idempotent and order-preserving for finite inputs.
+func TestSaturateProperties(t *testing.T) {
+	for _, c := range []Codec{MustCodec(FP16, 0), MustCodec(INT8, 8)} {
+		rng := rand.New(rand.NewSource(62))
+		for i := 0; i < 2000; i++ {
+			x := float32(rng.NormFloat64() * 1e5)
+			y := float32(rng.NormFloat64() * 1e5)
+			sx, sy := c.Saturate(x), c.Saturate(y)
+			if c.Saturate(sx) != sx {
+				t.Fatalf("%v: Saturate not idempotent at %v", c.Precision(), x)
+			}
+			if x <= y && sx > sy {
+				t.Fatalf("%v: Saturate not monotone: %v<=%v but %v>%v", c.Precision(), x, y, sx, sy)
+			}
+		}
+	}
+}
+
+// Property: a single-bit flip never yields the same stored encoding.
+func TestFlipBitAlwaysChangesEncoding(t *testing.T) {
+	for _, c := range []Codec{MustCodec(FP16, 0), MustCodec(INT16, 8), MustCodec(INT8, 8)} {
+		rng := rand.New(rand.NewSource(63))
+		for i := 0; i < 2000; i++ {
+			x := c.Round(float32(rng.NormFloat64() * 3))
+			bit := rng.Intn(c.Bits())
+			if c.Encode(c.FlipBit(x, bit)) == c.Encode(x) {
+				t.Fatalf("%v: flip of bit %d left encoding of %v unchanged", c.Precision(), bit, x)
+			}
+		}
+	}
+}

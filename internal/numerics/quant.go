@@ -1,0 +1,115 @@
+package numerics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quantizer maps real values to signed fixed-point codes using a symmetric
+// affine scheme (zero point 0), matching TensorFlow's symmetric quantization
+// that the paper uses to train its INT16/INT8 networks. A Quantizer for n
+// bits maps f to clamp(round(f/Scale), -2^(n-1), 2^(n-1)-1).
+type Quantizer struct {
+	// Scale is the real value of one least-significant code step.
+	Scale float32
+	// Bits is the code width: 16 for INT16, 8 for INT8.
+	Bits int
+}
+
+// NewQuantizer builds a symmetric quantizer covering [-maxAbs, +maxAbs] with
+// the given code width. maxAbs must be positive and bits must be 8 or 16.
+func NewQuantizer(maxAbs float32, bits int) (Quantizer, error) {
+	if maxAbs <= 0 || math.IsNaN(float64(maxAbs)) || math.IsInf(float64(maxAbs), 0) {
+		return Quantizer{}, fmt.Errorf("numerics: quantizer range must be positive and finite, got %v", maxAbs)
+	}
+	if bits != 8 && bits != 16 {
+		return Quantizer{}, fmt.Errorf("numerics: quantizer width must be 8 or 16 bits, got %d", bits)
+	}
+	qmax := float32(int32(1)<<(bits-1)) - 1
+	return Quantizer{Scale: maxAbs / qmax, Bits: bits}, nil
+}
+
+// MustQuantizer is NewQuantizer for statically known-good parameters.
+func MustQuantizer(maxAbs float32, bits int) Quantizer {
+	q, err := NewQuantizer(maxAbs, bits)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ForPrecision builds a quantizer for p (INT16 or INT8) over [-maxAbs, maxAbs].
+func ForPrecision(maxAbs float32, p Precision) (Quantizer, error) {
+	switch p {
+	case INT16, INT8:
+		return NewQuantizer(maxAbs, p.Bits())
+	default:
+		return Quantizer{}, fmt.Errorf("numerics: precision %v is not quantized", p)
+	}
+}
+
+// qlimits returns the inclusive code range.
+func (q Quantizer) qlimits() (lo, hi int32) {
+	hi = int32(1)<<(q.Bits-1) - 1
+	return -hi - 1, hi
+}
+
+// Quantize maps a real value to its code, saturating at the code range. NaN
+// quantizes to 0, mirroring hardware converters that flush invalid inputs.
+func (q Quantizer) Quantize(f float32) int32 {
+	if q.Scale == 0 || math.IsNaN(float64(f)) {
+		return 0
+	}
+	lo, hi := q.qlimits()
+	v := float64(f) / float64(q.Scale)
+	r := math.RoundToEven(v)
+	switch {
+	case r < float64(lo):
+		return lo
+	case r > float64(hi):
+		return hi
+	default:
+		return int32(r)
+	}
+}
+
+// Dequantize maps a code back to its real value.
+func (q Quantizer) Dequantize(code int32) float32 {
+	return float32(code) * q.Scale
+}
+
+// Round passes f through the quantized encoding and back, modeling a value
+// stored in an INT16/INT8 datapath register.
+func (q Quantizer) Round(f float32) float32 {
+	return q.Dequantize(q.Quantize(f))
+}
+
+// Encode returns the two's-complement bit pattern of the code for f, masked
+// to q.Bits bits. This is the flip-flop content for the stored value.
+func (q Quantizer) Encode(f float32) uint32 {
+	code := q.Quantize(f)
+	mask := uint32(1)<<uint(q.Bits) - 1
+	return uint32(code) & mask
+}
+
+// Decode interprets a q.Bits-wide two's-complement bit pattern as a real
+// value.
+func (q Quantizer) Decode(bits uint32) float32 {
+	shift := 32 - uint(q.Bits)
+	code := int32(bits<<shift) >> shift
+	return q.Dequantize(code)
+}
+
+// FlipBit returns the real value obtained by flipping bit i of the stored
+// encoding of f (bit q.Bits-1 is the sign bit).
+func (q Quantizer) FlipBit(f float32, i int) float32 {
+	enc := q.Encode(f)
+	enc ^= 1 << uint(i%q.Bits)
+	return q.Decode(enc)
+}
+
+// MaxAbs returns the largest representable magnitude.
+func (q Quantizer) MaxAbs() float32 {
+	_, hi := q.qlimits()
+	return q.Dequantize(hi)
+}

@@ -1,0 +1,348 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fidelity/internal/accel"
+)
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Input{}); err == nil {
+		t.Error("empty input should fail")
+	}
+	in := NVDLATargetA1(4)
+	in.FFValueCycles = 0
+	if _, err := Analyze(in); err == nil {
+		t.Error("zero FF_value_cycles should fail")
+	}
+	in = NVDLATargetA1(4)
+	in.InEffectCycles = func(m UnitID, l int) int { return -1 }
+	if _, err := Analyze(in); err == nil {
+		t.Error("negative in_effect_cycles should fail")
+	}
+}
+
+// Fig 2(a): target a1 affects t consecutive neurons in one output channel.
+func TestFig2aTargetA1(t *testing.T) {
+	const tt = 16
+	r, err := Analyze(NVDLATargetA1(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != tt {
+		t.Fatalf("a1 RF = %d, want %d", r.RF, tt)
+	}
+	for i, f := range r.Faulty {
+		want := Neuron{W: i}
+		if f.Neuron != want {
+			t.Errorf("a1 neuron %d = %v, want %v", i, f.Neuron, want)
+		}
+		if f.Loop != 0 {
+			t.Errorf("a1 loop timestamp = %d, want 0 (single-cycle value)", f.Loop)
+		}
+	}
+}
+
+// Fig 2(a): target a2 affects the same neuron set as a1 but with loop
+// timestamps spanning the hold window, so a random injection cycle yields
+// between 1 and t faulty neurons.
+func TestFig2aTargetA2(t *testing.T) {
+	const tt = 16
+	r, err := Analyze(NVDLATargetA2(tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != tt {
+		t.Fatalf("a2 RF = %d, want %d", r.RF, tt)
+	}
+	a1, _ := Analyze(NVDLATargetA1(tt))
+	if !EqualNeuronSets(r.Neurons(), a1.Neurons()) {
+		t.Error("a2 must affect the same neuron set as a1")
+	}
+	// Timestamps must be 0..t-1 so the injection-cycle subsetting works.
+	for i, f := range r.Faulty {
+		if f.Loop != i {
+			t.Errorf("a2 loop[%d] = %d", i, f.Loop)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	sizes := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		sub := r.SampleSubset(tt, rng)
+		if len(sub) < 1 || len(sub) > tt {
+			t.Fatalf("a2 subset size %d outside [1,%d]", len(sub), tt)
+		}
+		sizes[len(sub)] = true
+	}
+	if len(sizes) < 10 {
+		t.Errorf("subset sizes should vary across injections, got %d distinct", len(sizes))
+	}
+}
+
+// Fig 2(a): target a3's faulty value lasts one cycle: RF = 1.
+func TestFig2aTargetA3(t *testing.T) {
+	r, err := Analyze(NVDLATargetA3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != 1 {
+		t.Errorf("a3 RF = %d, want 1", r.RF)
+	}
+}
+
+// Fig 2(a): target a4 is broadcast to k² multipliers: RF = k², spanning k²
+// consecutive channels at one 2-D position.
+func TestFig2aTargetA4(t *testing.T) {
+	const k2 = 16
+	r, err := Analyze(NVDLATargetA4(k2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != k2 {
+		t.Fatalf("a4 RF = %d, want %d", r.RF, k2)
+	}
+	for i, f := range r.Faulty {
+		if f.Neuron.H != 0 || f.Neuron.W != 0 || f.Neuron.Batch != 0 {
+			t.Errorf("a4 neuron %d not at same 2D position: %v", i, f.Neuron)
+		}
+		if f.Neuron.C != i {
+			t.Errorf("a4 neuron %d channel = %d", i, f.Neuron.C)
+		}
+	}
+}
+
+// Fig 2(b): target b1 (systolic weight) corrupts k consecutive rows in one
+// column: RF = k.
+func TestFig2bTargetB1(t *testing.T) {
+	const k = 12
+	r, err := Analyze(EyerissTargetB1(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != k {
+		t.Fatalf("b1 RF = %d, want %d", r.RF, k)
+	}
+	for i, f := range r.Faulty {
+		if f.Neuron.H != i || f.Neuron.W != 0 || f.Neuron.C != 0 {
+			t.Errorf("b1 neuron %d = %v, want row %d col 0", i, f.Neuron, i)
+		}
+	}
+}
+
+// Fig 2(b): target b2 (diagonal input reuse) has RF = k·t across t channels
+// × k rows.
+func TestFig2bTargetB2(t *testing.T) {
+	const k, tt = 12, 7
+	r, err := Analyze(EyerissTargetB2(k, tt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != k*tt {
+		t.Fatalf("b2 RF = %d, want %d", r.RF, k*tt)
+	}
+	rows := map[int]bool{}
+	chans := map[int]bool{}
+	for _, f := range r.Faulty {
+		rows[f.Neuron.H] = true
+		chans[f.Neuron.C] = true
+		if f.Neuron.W != 0 {
+			t.Errorf("b2 neuron outside last column: %v", f.Neuron)
+		}
+	}
+	if len(rows) != k || len(chans) != tt {
+		t.Errorf("b2 spans %d rows × %d channels, want %d × %d", len(rows), len(chans), k, tt)
+	}
+}
+
+// Fig 2(b): target b3 (bias) has RF = 1.
+func TestFig2bTargetB3(t *testing.T) {
+	r, err := Analyze(EyerissTargetB3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != 1 {
+		t.Errorf("b3 RF = %d, want 1", r.RF)
+	}
+}
+
+// Datapath RF Property (4): along a datapath flow, RF must not increase in
+// later pipeline stages. a1 (earlier) vs a2 vs a3 (later) demonstrate the
+// monotone chain t >= t >= 1.
+func TestRFMonotoneAlongPipeline(t *testing.T) {
+	const tt = 16
+	a1, _ := Analyze(NVDLATargetA1(tt))
+	a2, _ := Analyze(NVDLATargetA2(tt))
+	a3, _ := Analyze(NVDLATargetA3())
+	if !(a1.RF >= a2.RF && a2.RF >= a3.RF) {
+		t.Errorf("RF chain %d >= %d >= %d violated", a1.RF, a2.RF, a3.RF)
+	}
+}
+
+// Property: RF always equals the number of distinct faulty neurons, and
+// never exceeds the total loop×unit×cycle work.
+func TestRFBoundsProperty(t *testing.T) {
+	f := func(holdRaw, unitsRaw, effRaw uint8) bool {
+		hold := int(holdRaw%4) + 1
+		nu := int(unitsRaw%4) + 1
+		eff := int(effRaw%4) + 1
+		units := make([]UnitID, nu)
+		for i := range units {
+			units[i] = UnitID(i)
+		}
+		in := Input{
+			FFValueCycles:  hold,
+			Units:          func(l int) []UnitID { return units },
+			InEffectCycles: func(m UnitID, l int) int { return eff },
+			Neurons: func(m UnitID, y, l int) []Neuron {
+				return []Neuron{{H: int(m), W: y, C: l}}
+			},
+		}
+		r, err := Analyze(in)
+		if err != nil {
+			return false
+		}
+		if r.RF != len(r.Faulty) {
+			return false
+		}
+		seen := map[Neuron]bool{}
+		for _, fn := range r.Faulty {
+			if seen[fn.Neuron] {
+				return false // duplicates must be removed
+			}
+			seen[fn.Neuron] = true
+		}
+		return r.RF <= hold*nu*eff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionOfResults(t *testing.T) {
+	r1 := Result{RF: 2, Faulty: []FaultyNeuron{
+		{Neuron: Neuron{C: 0}, Loop: 1},
+		{Neuron: Neuron{C: 1}, Loop: 0},
+	}}
+	r2 := Result{RF: 2, Faulty: []FaultyNeuron{
+		{Neuron: Neuron{C: 1}, Loop: 2},
+		{Neuron: Neuron{C: 2}, Loop: 0},
+	}}
+	u := Union(r1, r2)
+	if u.RF != 3 {
+		t.Fatalf("union RF = %d, want 3", u.RF)
+	}
+	// Duplicate neuron C=1 keeps its earliest timestamp 0.
+	for _, f := range u.Faulty {
+		if f.Neuron.C == 1 && f.Loop != 0 {
+			t.Errorf("union kept loop %d for duplicate, want 0", f.Loop)
+		}
+	}
+}
+
+func TestSampleSubsetSingleCycle(t *testing.T) {
+	r, _ := Analyze(NVDLATargetA4(4))
+	rng := rand.New(rand.NewSource(2))
+	sub := r.SampleSubset(1, rng)
+	if len(sub) != r.RF {
+		t.Errorf("single-cycle subset = %d, want full set %d", len(sub), r.RF)
+	}
+}
+
+func TestEqualNeuronSets(t *testing.T) {
+	a := []Neuron{{C: 1}, {C: 0}}
+	b := []Neuron{{C: 0}, {C: 1}}
+	if !EqualNeuronSets(a, b) {
+		t.Error("order must not matter")
+	}
+	if EqualNeuronSets(a, b[:1]) {
+		t.Error("different sizes must differ")
+	}
+	if EqualNeuronSets([]Neuron{{C: 1}}, []Neuron{{C: 2}}) {
+		t.Error("different members must differ")
+	}
+}
+
+func TestAnalyzeNVDLACategories(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	crs, err := AnalyzeNVDLACategories(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crs) != 5 {
+		t.Fatalf("categories = %d, want 5", len(crs))
+	}
+	byCat := map[string]CategoryResult{}
+	for _, cr := range crs {
+		byCat[cr.Cat.String()] = cr
+	}
+	// Table II RF column.
+	if !byCat["before CBUF/input"].AllUsers || !byCat["before CBUF/weight"].AllUsers {
+		t.Error("before-CBUF categories must be all-users")
+	}
+	if rf := byCat["between CBUF & MAC/input"].Result.RF; rf != 16 {
+		t.Errorf("CBUF→MAC input RF = %d, want 16", rf)
+	}
+	if rf := byCat["between CBUF & MAC/weight"].Result.RF; rf != 16 {
+		t.Errorf("CBUF→MAC weight RF = %d, want 16", rf)
+	}
+	if rf := byCat["inside MAC/output"].Result.RF; rf != 1 {
+		t.Errorf("output RF = %d, want 1", rf)
+	}
+}
+
+func TestNeuronString(t *testing.T) {
+	if (Neuron{1, 2, 3, 4}).String() != "(1,2,3,4)" {
+		t.Error("neuron string format")
+	}
+}
+
+// Property: SampleSubset always returns a suffix-closed subset — every
+// neuron with timestamp >= the minimum returned timestamp is included.
+func TestSampleSubsetSuffixClosed(t *testing.T) {
+	r, err := Analyze(NVDLATargetA2(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 200; trial++ {
+		sub := r.SampleSubset(16, rng)
+		if len(sub) == 0 {
+			t.Fatal("subset must not be empty for a full-window result")
+		}
+		minLoop := sub[0].Loop
+		for _, f := range sub {
+			if f.Loop < minLoop {
+				minLoop = f.Loop
+			}
+		}
+		want := 0
+		for _, f := range r.Faulty {
+			if f.Loop >= minLoop {
+				want++
+			}
+		}
+		if len(sub) != want {
+			t.Fatalf("subset of %d not suffix-closed (want %d from loop %d)", len(sub), want, minLoop)
+		}
+	}
+}
+
+// Property: Union is idempotent and commutative on neuron sets.
+func TestUnionProperties(t *testing.T) {
+	a, _ := Analyze(NVDLATargetA4(8))
+	b, _ := Analyze(NVDLATargetA1(4))
+	ab := Union(a, b)
+	ba := Union(b, a)
+	if !EqualNeuronSets(ab.Neurons(), ba.Neurons()) {
+		t.Error("union not commutative on neuron sets")
+	}
+	aa := Union(a, a)
+	if aa.RF != a.RF {
+		t.Errorf("union not idempotent: %d vs %d", aa.RF, a.RF)
+	}
+	if ab.RF > a.RF+b.RF {
+		t.Errorf("union RF %d exceeds sum %d", ab.RF, a.RF+b.RF)
+	}
+}

@@ -1,0 +1,560 @@
+package rtlsim
+
+import (
+	"fmt"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// FF names the simulated flip-flop groups. Per-MAC FFs additionally carry a
+// MAC index in the Fault.
+type FF string
+
+// Datapath FFs.
+const (
+	// FFCDMAIn0 and FFCDMAIn1 are the two input-fetch pipeline registers
+	// before the on-chip buffer (paper category: before CBUF / input).
+	FFCDMAIn0 FF = "cdma.in0"
+	FFCDMAIn1 FF = "cdma.in1"
+	// FFCDMAWt0 and FFCDMAWt1 are the weight-fetch pipeline registers
+	// (before CBUF / weight).
+	FFCDMAWt0 FF = "cdma.wt0"
+	FFCDMAWt1 FF = "cdma.wt1"
+	// FFInputReg is the broadcast input register feeding all MACs
+	// (between CBUF & MAC / input — Fig 2a target a4).
+	FFInputReg FF = "csc.input"
+	// FFWLoad is a MAC's weight staging register (Fig 2a target a1).
+	FFWLoad FF = "mac.wload"
+	// FFWReg is a MAC's held weight register, value reused for up to t
+	// cycles (Fig 2a target a2).
+	FFWReg FF = "mac.wreg"
+	// FFProd is a MAC's multiplier output register (partial sum, RF = 1).
+	FFProd FF = "mac.prod"
+	// FFOutReg is the post-accumulation output register at write-back
+	// (output, RF = 1).
+	FFOutReg FF = "sdp.out"
+)
+
+// Local control FFs.
+const (
+	// FFValid is a MAC's product-valid bit: flipping it drops or corrupts
+	// exactly the neuron the MAC is computing that cycle (local control).
+	FFValid FF = "mac.valid"
+)
+
+// Global control FFs.
+const (
+	// FFCfgPos, FFCfgCh and FFCfgRed are layer configuration registers
+	// (output positions, channels, reduction length).
+	FFCfgPos FF = "cfg.pos"
+	FFCfgCh  FF = "cfg.ch"
+	FFCfgRed FF = "cfg.red"
+	// FFCtrBlk, FFCtrGrp, FFCtrR and FFCtrDx are the sequencer counters.
+	FFCtrBlk FF = "csc.blk"
+	FFCtrGrp FF = "csc.grp"
+	FFCtrR   FF = "csc.r"
+	FFCtrDx  FF = "csc.dx"
+)
+
+// Class returns the FF's fault-model class.
+func (f FF) Class() accel.FFClass {
+	switch f {
+	case FFValid:
+		return accel.LocalControl
+	case FFCfgPos, FFCfgCh, FFCfgRed, FFCtrBlk, FFCtrGrp, FFCtrR, FFCtrDx:
+		return accel.GlobalControl
+	default:
+		return accel.Datapath
+	}
+}
+
+// Fault is a single-cycle fault in a single FF register: one bit flip, or —
+// per the paper's fault abstraction, which also covers "multiple single-cycle
+// bit-flips in a single register" — several bits flipped in the same cycle.
+type Fault struct {
+	FF FF
+	// Mac selects the MAC unit for per-MAC FFs (ignored otherwise).
+	Mac int
+	// Bit is the flipped bit position.
+	Bit int
+	// ExtraBits lists additional bit positions flipped in the same cycle
+	// (multi-bit upsets in one register).
+	ExtraBits []int
+	// Cycle is the absolute cycle at which the flip occurs.
+	Cycle int64
+}
+
+// bits returns all flipped bit positions.
+func (f *Fault) bits() []int {
+	return append([]int{f.Bit}, f.ExtraBits...)
+}
+
+// Outcome is the result of one simulation run.
+type Outcome struct {
+	// Out is the layer output (valid even on time-out: whatever was written).
+	Out *tensor.Tensor
+	// Cycles is the number of simulated cycles.
+	Cycles int64
+	// TimedOut reports that the run exceeded the watchdog limit — the
+	// "system anomaly" outcome.
+	TimedOut bool
+	// FaultApplied reports whether the fault's target was live at the fault
+	// cycle (a fault aimed at an inactive FF or out-of-range cycle never
+	// fires and is trivially masked).
+	FaultApplied bool
+}
+
+// Engine simulates one layer execution.
+type Engine struct {
+	cfg   *accel.Config
+	l     *Layer
+	sched *schedule
+	codec numerics.Codec
+	k, t  int
+
+	// CBUF contents (copied from DRAM through the CDMA registers).
+	cbufIn, cbufW []float32
+
+	// Datapath registers.
+	inputReg float32
+	wload    []float32
+	wreg     []float32
+	prod     []float32
+	valid    []bool
+	acc      [][]float32 // acc[dx][m]
+
+	// Config registers and sequencer counters (bit-flippable state).
+	cfgPos, cfgCh, cfgRed int64
+	blk, grp, r, dx, wb   int64
+	phase                 int
+
+	out       *tensor.Tensor
+	cycle     int64
+	fault     *Fault
+	memFaults []MemFault
+	fired     bool
+	maxCyc    int64
+}
+
+const (
+	phaseLoad = iota
+	phaseMAC
+	phaseWB
+	phaseDone
+)
+
+// NewEngine prepares a simulation of layer l on design cfg with an optional
+// fault (nil for a golden run).
+func NewEngine(cfg *accel.Config, l *Layer, fault *Fault) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := l.newSchedule()
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.AtomicK
+	t := cfg.WeightHoldCycles
+	e := &Engine{
+		cfg: cfg, l: l, sched: sched, codec: l.Codec,
+		k: k, t: t,
+		wload: make([]float32, k), wreg: make([]float32, k),
+		prod: make([]float32, k), valid: make([]bool, k),
+		acc:    make([][]float32, t),
+		cfgPos: int64(sched.numPos), cfgCh: int64(sched.numCh), cfgRed: int64(sched.numRed),
+		out:   tensor.New(sched.outShape()...),
+		fault: fault,
+	}
+	for i := range e.acc {
+		e.acc[i] = make([]float32, k)
+	}
+	if fault != nil {
+		if fault.Mac < 0 || fault.Mac >= k {
+			fault.Mac = ((fault.Mac % k) + k) % k
+		}
+	}
+	return e, nil
+}
+
+// goldenCycles estimates the fault-free cycle count for the watchdog.
+func (e *Engine) goldenCycles() int64 {
+	s := e.sched
+	blocks := (s.numPos + e.t - 1) / e.t
+	groups := (s.numCh + e.k - 1) / e.k
+	var compute int64
+	for b := 0; b < blocks; b++ {
+		bs := s.numPos - b*e.t
+		if bs > e.t {
+			bs = e.t
+		}
+		perGroup := int64(s.numRed)*int64(1+bs) + int64(bs)*int64(e.k)
+		compute += int64(groups) * perGroup
+	}
+	return e.fetchCycles() + compute
+}
+
+// fetchCycles is the CDMA streaming time: input and weight streams run in
+// parallel, one element per cycle, through two pipeline registers.
+func (e *Engine) fetchCycles() int64 {
+	n := e.l.Input.Size()
+	if w := e.l.W.Size(); w > n {
+		n = w
+	}
+	return int64(n) + 2
+}
+
+// Run executes the simulation to completion or time-out.
+func (e *Engine) Run() (*Outcome, error) {
+	e.maxCyc = 4*e.goldenCycles() + 1024
+	e.fetch()
+	e.phase = phaseLoad
+	for e.phase != phaseDone {
+		if e.cycle > e.maxCyc {
+			return &Outcome{Out: e.out, Cycles: e.cycle, TimedOut: true, FaultApplied: e.fired}, nil
+		}
+		e.step()
+		e.cycle++
+	}
+	return &Outcome{Out: e.out, Cycles: e.cycle, FaultApplied: e.fired}, nil
+}
+
+// fetch streams the operands into the CBUF through the CDMA registers,
+// applying CDMA faults to the element occupying the targeted register at the
+// fault cycle.
+func (e *Engine) fetch() {
+	in := e.l.Input.Data()
+	w := e.l.W.Data()
+	e.cbufIn = append([]float32(nil), in...)
+	e.cbufW = append([]float32(nil), w...)
+	// Values are stored in the datapath format.
+	for i, v := range e.cbufIn {
+		e.cbufIn[i] = e.codec.Round(v)
+	}
+	for i, v := range e.cbufW {
+		e.cbufW[i] = e.codec.Round(v)
+	}
+	fc := e.fetchCycles()
+	if f := e.fault; f != nil && f.Cycle < fc {
+		var buf []float32
+		var elem int64
+		switch f.FF {
+		case FFCDMAIn0:
+			buf, elem = e.cbufIn, f.Cycle
+		case FFCDMAIn1:
+			buf, elem = e.cbufIn, f.Cycle-1
+		case FFCDMAWt0:
+			buf, elem = e.cbufW, f.Cycle
+		case FFCDMAWt1:
+			buf, elem = e.cbufW, f.Cycle-1
+		}
+		if buf != nil && elem >= 0 && elem < int64(len(buf)) {
+			for _, b := range f.bits() {
+				buf[elem] = e.codec.FlipBit(buf[elem], b)
+			}
+			e.fired = true
+		}
+	}
+	for _, m := range e.memFaults {
+		buf := e.cbufIn
+		if m.Weight {
+			buf = e.cbufW
+		}
+		if m.Word < 0 || m.Word >= len(buf) {
+			continue
+		}
+		for _, b := range m.Bits {
+			buf[m.Word] = e.codec.FlipBit(buf[m.Word], b)
+		}
+		e.fired = true
+	}
+	e.cycle = fc
+}
+
+// faultNow reports whether the fault targets ff (and MAC m, when >= 0) at
+// the current cycle.
+func (e *Engine) faultNow(ff FF, m int) bool {
+	f := e.fault
+	if f == nil || f.Cycle != e.cycle || f.FF != ff {
+		return false
+	}
+	if m >= 0 && f.Mac != m {
+		return false
+	}
+	return true
+}
+
+// flip32 applies the codec bit flips and marks the fault as fired.
+func (e *Engine) flip32(v float32) float32 {
+	e.fired = true
+	for _, b := range e.fault.bits() {
+		v = e.codec.FlipBit(v, b)
+	}
+	return v
+}
+
+// flipCtr flips bits of a counter/config register, masked to 20 bits to
+// bound runaway loops (the watchdog catches the rest).
+func (e *Engine) flipCtr(v int64) int64 {
+	e.fired = true
+	for _, b := range e.fault.bits() {
+		v ^= 1 << uint(b%20)
+	}
+	return v
+}
+
+// applyControlFaults handles config/counter targets at the start of a cycle.
+func (e *Engine) applyControlFaults() {
+	f := e.fault
+	if f == nil || f.Cycle != e.cycle {
+		return
+	}
+	switch f.FF {
+	case FFCfgPos:
+		e.cfgPos = e.flipCtr(e.cfgPos)
+	case FFCfgCh:
+		e.cfgCh = e.flipCtr(e.cfgCh)
+	case FFCfgRed:
+		e.cfgRed = e.flipCtr(e.cfgRed)
+	case FFCtrBlk:
+		e.blk = e.flipCtr(e.blk)
+	case FFCtrGrp:
+		e.grp = e.flipCtr(e.grp)
+	case FFCtrR:
+		e.r = e.flipCtr(e.r)
+	case FFCtrDx:
+		e.dx = e.flipCtr(e.dx)
+	}
+}
+
+// geometry derived combinationally from the (possibly corrupted) config regs.
+func (e *Engine) numBlocks() int64 {
+	if e.cfgPos <= 0 {
+		return 0
+	}
+	return (e.cfgPos + int64(e.t) - 1) / int64(e.t)
+}
+
+func (e *Engine) numGroups() int64 {
+	if e.cfgCh <= 0 {
+		return 0
+	}
+	return (e.cfgCh + int64(e.k) - 1) / int64(e.k)
+}
+
+func (e *Engine) blockSize() int64 {
+	bs := e.cfgPos - e.blk*int64(e.t)
+	if bs > int64(e.t) {
+		bs = int64(e.t)
+	}
+	if bs < 1 {
+		bs = 1
+	}
+	return bs
+}
+
+// readIn fetches an input operand from CBUF with address clamping (a
+// corrupted sequencer can generate out-of-range addresses; real hardware
+// would read whatever the wrapped address holds). pad reports a zero-padding
+// operand: the sequencer gates the corresponding MAC (no accumulation), so a
+// non-finite weight cannot poison padded positions.
+func (e *Engine) readIn(p, r int64) (v float32, pad bool) {
+	s := e.sched
+	np, nr := int64(s.numPos), int64(s.numRed)
+	pi := int(((p % np) + np) % np)
+	ri := int(((r % nr) + nr) % nr)
+	idx := s.aIndex(pi, ri)
+	if idx < 0 {
+		return 0, true
+	}
+	return e.cbufIn[idx], false
+}
+
+// readW fetches a weight operand with clamping.
+func (e *Engine) readW(r, c int64) float32 {
+	s := e.sched
+	nr, nc := int64(s.numRed), int64(s.numCh)
+	ri := int(((r % nr) + nr) % nr)
+	ci := int(((c % nc) + nc) % nc)
+	return e.cbufW[s.wIndex(ri, ci)]
+}
+
+// step advances the state machine one cycle.
+func (e *Engine) step() {
+	e.applyControlFaults()
+	switch e.phase {
+	case phaseLoad:
+		// Parallel load of the group's weights into the staging registers.
+		for m := 0; m < e.k; m++ {
+			c := e.grp*int64(e.k) + int64(m)
+			if c < e.cfgCh && c < int64(e.sched.numCh) {
+				e.wload[m] = e.readW(e.r, c)
+			} else {
+				e.wload[m] = 0
+			}
+			if e.faultNow(FFWLoad, m) {
+				e.wload[m] = e.flip32(e.wload[m])
+			}
+		}
+		e.dx = 0
+		e.phase = phaseMAC
+
+	case phaseMAC:
+		if e.dx == 0 {
+			copy(e.wreg, e.wload)
+		}
+		// Held weight registers can be struck at any MAC cycle; the flip
+		// persists for the rest of the hold window (Fig 2a target a2).
+		for m := 0; m < e.k; m++ {
+			if e.faultNow(FFWReg, m) {
+				e.wreg[m] = e.flip32(e.wreg[m])
+			}
+		}
+		p := e.blk*int64(e.t) + e.dx
+		in, pad := e.readIn(p, e.r)
+		e.inputReg = in
+		if e.faultNow(FFInputReg, -1) {
+			e.inputReg = e.flip32(e.inputReg)
+		}
+		dxi := int(e.dx) % e.t
+		for m := 0; m < e.k; m++ {
+			e.prod[m] = e.codec.Mul(e.wreg[m], e.inputReg)
+			if e.faultNow(FFProd, m) {
+				e.prod[m] = e.flip32(e.prod[m])
+			}
+			e.valid[m] = !pad
+			if e.faultNow(FFValid, m) {
+				e.valid[m] = false // drop this product
+				e.fired = true
+			}
+			if e.valid[m] {
+				e.acc[dxi][m] += e.prod[m]
+			}
+		}
+		e.dx++
+		if e.dx >= e.blockSize() {
+			e.dx = 0
+			e.r++
+			if e.r >= e.cfgRed {
+				e.r = 0
+				e.wb = 0
+				e.phase = phaseWB
+			} else {
+				e.phase = phaseLoad
+			}
+		} else {
+			// Same weight value continues to be reused; next cycle stays in
+			// the MAC phase (a new input is fetched each cycle).
+			e.phase = phaseMAC
+		}
+		// NOTE: the NVDLA schedule interleaves the reduction loop over the
+		// full block with a single weight load per (r, group); the state
+		// transitions above reproduce that: one load cycle per reduction
+		// index, then blockSize MAC cycles.
+
+	case phaseWB:
+		bs := e.blockSize()
+		dxw := e.wb / int64(e.k)
+		m := int(e.wb % int64(e.k))
+		p := e.blk*int64(e.t) + dxw
+		c := e.grp*int64(e.k) + int64(m)
+		acc := e.acc[int(dxw)%e.t][m]
+		if e.l.Bias != nil && c >= 0 && c < int64(len(e.l.Bias)) {
+			acc += e.l.Bias[c]
+		}
+		outv := e.codec.Saturate(acc)
+		if e.faultNow(FFOutReg, -1) || e.faultNow(FFOutReg, m) {
+			outv = e.flip32(outv)
+		}
+		if p >= 0 && p < int64(e.sched.numPos) && c >= 0 && c < int64(e.sched.numCh) {
+			e.out.Set(outv, e.sched.outIndex(int(p), int(c))...)
+		}
+		e.acc[int(dxw)%e.t][m] = 0
+		e.wb++
+		if e.wb >= bs*int64(e.k) {
+			e.grp++
+			if e.grp >= e.numGroups() {
+				e.grp = 0
+				e.blk++
+				if e.blk >= e.numBlocks() {
+					e.phase = phaseDone
+					return
+				}
+			}
+			e.phase = phaseLoad
+		}
+	}
+}
+
+// MemFault is a memory error: bit flips in one word of the on-chip buffer,
+// present from the moment the buffer is filled (paper Sec. III-E).
+type MemFault struct {
+	// Weight selects the weight buffer; false selects the input buffer.
+	Weight bool
+	// Word is the flat element index.
+	Word int
+	// Bits are the flipped bit positions.
+	Bits []int
+}
+
+// RunWithMemoryFaults simulates layer l with a set of memory errors in the
+// on-chip buffer (and no FF fault).
+func RunWithMemoryFaults(cfg *accel.Config, l *Layer, mems []MemFault) (*Outcome, error) {
+	e, err := NewEngine(cfg, l, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.memFaults = mems
+	return e.Run()
+}
+
+// Run is the package-level convenience: simulate layer l on cfg with fault f
+// (nil for golden).
+func Run(cfg *accel.Config, l *Layer, f *Fault) (*Outcome, error) {
+	var fc *Fault
+	if f != nil {
+		c := *f
+		fc = &c
+	}
+	e, err := NewEngine(cfg, l, fc)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// GoldenCycles returns the fault-free cycle count of layer l on cfg, used by
+// validation to sample fault cycles and by the speedup comparison.
+func GoldenCycles(cfg *accel.Config, l *Layer) (int64, error) {
+	e, err := NewEngine(cfg, l, nil)
+	if err != nil {
+		return 0, err
+	}
+	return e.goldenCycles(), nil
+}
+
+// ComputeWindow returns the [start, end) cycle range of the compute phase,
+// the live window for MAC-side fault targets.
+func ComputeWindow(cfg *accel.Config, l *Layer) (start, end int64, err error) {
+	e, err := NewEngine(cfg, l, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	return e.fetchCycles(), e.goldenCycles(), nil
+}
+
+// FetchWindow returns the [0, end) cycle range of the CDMA fetch phase, the
+// live window for before-CBUF fault targets.
+func FetchWindow(cfg *accel.Config, l *Layer) (int64, error) {
+	e, err := NewEngine(cfg, l, nil)
+	if err != nil {
+		return 0, err
+	}
+	return e.fetchCycles(), nil
+}
+
+// String renders a fault for diagnostics.
+func (f *Fault) String() string {
+	return fmt.Sprintf("%s[mac=%d] bit %d @ cycle %d", f.FF, f.Mac, f.Bit, f.Cycle)
+}

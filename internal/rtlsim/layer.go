@@ -1,0 +1,164 @@
+// Package rtlsim is the validation golden reference of this reproduction: a
+// cycle-level microarchitectural simulator of the NVDLA-like accelerator of
+// paper Fig 2(a), with named flip-flops that can suffer single-cycle
+// bit-flips at chosen cycles. It plays the role that Synopsys VCS RTL
+// simulation of NVDLA plays in the paper's Sec. IV: for a sampled fault
+// site, the simulator produces the ground-truth set of faulty output
+// neurons, their values, and time-out behaviour, against which FIdelity's
+// software fault models are checked.
+//
+// The simulated design executes one DNN layer (Conv, FC, or MatMul) with the
+// NVDLA schedule: k parallel MAC units compute the output neurons of k
+// consecutive channels at one position per cycle; weight registers hold each
+// value for up to t consecutive positions (temporal reuse); one input value
+// per cycle is broadcast to all MACs (spatial reuse). FC and MatMul map onto
+// the same engine with positions = matrix rows and channels = output
+// columns, exactly as NVDLA runs them on the convolution pipeline.
+package rtlsim
+
+import (
+	"fmt"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// Layer describes one workload layer together with its operand data.
+type Layer struct {
+	Kind accel.LayerKind
+
+	// Convolution geometry (Kind == LayerConv). Input is NHWC and W is
+	// (KH, KW, InC, OutC).
+	KH, KW, Stride, Pad int
+
+	// Input is the activation tensor: NHWC for conv, (M, K) for FC/MatMul.
+	Input *tensor.Tensor
+	// W is the weight tensor: (KH, KW, InC, OutC) for conv, (K, N) for
+	// FC/MatMul.
+	W *tensor.Tensor
+	// Bias is an optional per-channel bias (length OutC / N).
+	Bias []float32
+
+	// Codec is the datapath number format.
+	Codec numerics.Codec
+}
+
+// ConvLayer builds a conv workload.
+func ConvLayer(input, w *tensor.Tensor, bias []float32, stride, pad int, codec numerics.Codec) *Layer {
+	return &Layer{
+		Kind: accel.LayerConv, KH: w.Dim(0), KW: w.Dim(1), Stride: stride, Pad: pad,
+		Input: input, W: w, Bias: bias, Codec: codec,
+	}
+}
+
+// MatMulLayer builds an FC/MatMul workload over (M,K)·(K,N).
+func MatMulLayer(kind accel.LayerKind, a, w *tensor.Tensor, bias []float32, codec numerics.Codec) *Layer {
+	return &Layer{Kind: kind, Input: a, W: w, Bias: bias, Codec: codec}
+}
+
+// schedule captures the iteration-space mapping of the layer onto the
+// engine: positions (outer spatial scan), channels (parallel MACs), and
+// reduction indices (MAC operand pairs). This is precisely the information
+// the paper's "scheduling/reuse algorithm" input provides.
+type schedule struct {
+	numPos, numCh, numRed int
+
+	// conv geometry cache
+	conv               bool
+	batch, inH, inW    int
+	inC, outH, outW    int
+	kh, kw, stride, pd int
+}
+
+func (l *Layer) newSchedule() (*schedule, error) {
+	s := &schedule{}
+	switch l.Kind {
+	case accel.LayerConv:
+		if l.Input.Rank() != 4 || l.W.Rank() != 4 {
+			return nil, fmt.Errorf("rtlsim: conv needs NHWC input and 4-D weights, got %v / %v",
+				l.Input.Shape(), l.W.Shape())
+		}
+		s.conv = true
+		s.batch, s.inH, s.inW, s.inC = l.Input.Dim(0), l.Input.Dim(1), l.Input.Dim(2), l.Input.Dim(3)
+		s.kh, s.kw, s.stride, s.pd = l.KH, l.KW, l.Stride, l.Pad
+		if l.W.Dim(2) != s.inC {
+			return nil, fmt.Errorf("rtlsim: weight input channels %d != input %d", l.W.Dim(2), s.inC)
+		}
+		s.outH = (s.inH+2*s.pd-s.kh)/s.stride + 1
+		s.outW = (s.inW+2*s.pd-s.kw)/s.stride + 1
+		if s.outH <= 0 || s.outW <= 0 {
+			return nil, fmt.Errorf("rtlsim: conv output is empty")
+		}
+		s.numPos = s.batch * s.outH * s.outW
+		s.numCh = l.W.Dim(3)
+		s.numRed = s.kh * s.kw * s.inC
+	case accel.LayerFC, accel.LayerMatMul:
+		if l.Input.Rank() != 2 || l.W.Rank() != 2 {
+			return nil, fmt.Errorf("rtlsim: matmul needs rank-2 operands, got %v / %v",
+				l.Input.Shape(), l.W.Shape())
+		}
+		if l.Input.Dim(1) != l.W.Dim(0) {
+			return nil, fmt.Errorf("rtlsim: inner dims %d vs %d", l.Input.Dim(1), l.W.Dim(0))
+		}
+		s.numPos = l.Input.Dim(0)
+		s.numCh = l.W.Dim(1)
+		s.numRed = l.Input.Dim(1)
+	default:
+		return nil, fmt.Errorf("rtlsim: unsupported layer kind %v", l.Kind)
+	}
+	if l.Bias != nil && len(l.Bias) != s.numCh {
+		return nil, fmt.Errorf("rtlsim: bias length %d != channels %d", len(l.Bias), s.numCh)
+	}
+	return s, nil
+}
+
+// aIndex returns the flat index into the input buffer of the operand used at
+// (position p, reduction r), or -1 for padding (value 0).
+func (s *schedule) aIndex(p, r int) int {
+	if !s.conv {
+		return p*s.numRed + r
+	}
+	// p -> (b, oy, ox); r -> (ky, kx, ic), both row-major.
+	ox := p % s.outW
+	oy := (p / s.outW) % s.outH
+	b := p / (s.outW * s.outH)
+	ic := r % s.inC
+	kx := (r / s.inC) % s.kw
+	ky := r / (s.inC * s.kw)
+	iy := oy*s.stride + ky - s.pd
+	ix := ox*s.stride + kx - s.pd
+	if iy < 0 || iy >= s.inH || ix < 0 || ix >= s.inW {
+		return -1
+	}
+	return ((b*s.inH+iy)*s.inW+ix)*s.inC + ic
+}
+
+// wIndex returns the flat index into the weight buffer of the operand used
+// at (reduction r, channel c).
+func (s *schedule) wIndex(r, c int) int {
+	if !s.conv {
+		return r*s.numCh + c
+	}
+	// W layout (KH, KW, InC, OutC) is exactly reduction-major, channel-minor.
+	return r*s.numCh + c
+}
+
+// outShape returns the output tensor shape.
+func (s *schedule) outShape() []int {
+	if s.conv {
+		return []int{s.batch, s.outH, s.outW, s.numCh}
+	}
+	return []int{s.numPos, s.numCh}
+}
+
+// outIndex converts (position, channel) to the output multi-index.
+func (s *schedule) outIndex(p, c int) []int {
+	if s.conv {
+		ox := p % s.outW
+		oy := (p / s.outW) % s.outH
+		b := p / (s.outW * s.outH)
+		return []int{b, oy, ox, c}
+	}
+	return []int{p, c}
+}

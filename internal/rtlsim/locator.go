@@ -1,0 +1,172 @@
+package rtlsim
+
+import (
+	"fmt"
+
+	"fidelity/internal/accel"
+)
+
+// Phase names the pipeline phase a cycle falls in.
+type Phase int
+
+const (
+	// PhaseFetch is the CDMA streaming phase.
+	PhaseFetch Phase = iota
+	// PhaseLoad is a weight-load cycle.
+	PhaseLoad
+	// PhaseMAC is a multiply-accumulate cycle.
+	PhaseMAC
+	// PhaseWB is a write-back cycle.
+	PhaseWB
+	// PhaseIdle is past the end of execution.
+	PhaseIdle
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseFetch:
+		return "fetch"
+	case PhaseLoad:
+		return "load"
+	case PhaseMAC:
+		return "mac"
+	case PhaseWB:
+		return "wb"
+	default:
+		return "idle"
+	}
+}
+
+// SiteInfo is the schedule-level meaning of one (FF, cycle) fault site: which
+// loop iteration the sequencer is in at that cycle. This is pure
+// scheduling/reuse-algorithm arithmetic — exactly the information the paper
+// says suffices to derive software fault models, with no datapath state.
+type SiteInfo struct {
+	Phase Phase
+	// Blk, Grp, R index the position block, channel group, and reduction
+	// step (valid in load/mac/wb phases).
+	Blk, Grp, R int
+	// Dx is the offset within the position block (mac phase).
+	Dx int
+	// WB is the write-back index within the block (wb phase).
+	WB int
+	// BlockSize is the number of positions in this block.
+	BlockSize int
+}
+
+// Locate maps an absolute cycle to its schedule coordinates for layer l on
+// design cfg.
+func Locate(cfg *accel.Config, l *Layer, cycle int64) (SiteInfo, error) {
+	if err := cfg.Validate(); err != nil {
+		return SiteInfo{}, err
+	}
+	s, err := l.newSchedule()
+	if err != nil {
+		return SiteInfo{}, err
+	}
+	e := Engine{l: l, sched: s, k: cfg.AtomicK, t: cfg.WeightHoldCycles}
+	fc := e.fetchCycles()
+	if cycle < fc {
+		return SiteInfo{Phase: PhaseFetch}, nil
+	}
+	k, t := cfg.AtomicK, cfg.WeightHoldCycles
+	groups := (s.numCh + k - 1) / k
+	blocks := (s.numPos + t - 1) / t
+	c := cycle - fc
+	for blk := 0; blk < blocks; blk++ {
+		bs := s.numPos - blk*t
+		if bs > t {
+			bs = t
+		}
+		perGroup := int64(s.numRed)*int64(1+bs) + int64(bs)*int64(k)
+		for grp := 0; grp < groups; grp++ {
+			if c >= perGroup {
+				c -= perGroup
+				continue
+			}
+			info := SiteInfo{Blk: blk, Grp: grp, BlockSize: bs}
+			redPart := int64(s.numRed) * int64(1+bs)
+			if c < redPart {
+				r := int(c / int64(1+bs))
+				off := int(c % int64(1+bs))
+				info.R = r
+				if off == 0 {
+					info.Phase = PhaseLoad
+				} else {
+					info.Phase = PhaseMAC
+					info.Dx = off - 1
+				}
+				return info, nil
+			}
+			info.Phase = PhaseWB
+			info.WB = int(c - redPart)
+			return info, nil
+		}
+	}
+	return SiteInfo{Phase: PhaseIdle}, nil
+}
+
+// Position returns the output position index the site touches (mac: the
+// position being multiplied; wb: the position being written).
+func (si SiteInfo) Position(cfg *accel.Config) int {
+	switch si.Phase {
+	case PhaseMAC:
+		return si.Blk*cfg.WeightHoldCycles + si.Dx
+	case PhaseWB:
+		return si.Blk*cfg.WeightHoldCycles + si.WB/cfg.AtomicK
+	default:
+		return si.Blk * cfg.WeightHoldCycles
+	}
+}
+
+// Channel returns the output channel MAC m computes in this group (wb: the
+// channel being written).
+func (si SiteInfo) Channel(cfg *accel.Config, mac int) int {
+	if si.Phase == PhaseWB {
+		return si.Grp*cfg.AtomicK + si.WB%cfg.AtomicK
+	}
+	return si.Grp*cfg.AtomicK + mac
+}
+
+// OperandIndices resolves the input element (for the broadcast input
+// register) and weight element (for MAC m's weight registers) live at the
+// site. A negative input index means the operand is a padding zero.
+func (si SiteInfo) OperandIndices(cfg *accel.Config, l *Layer, mac int) (inIdx, wIdx int, err error) {
+	s, err := l.newSchedule()
+	if err != nil {
+		return 0, 0, err
+	}
+	p := si.Position(cfg)
+	ch := si.Grp*cfg.AtomicK + mac
+	inIdx = -1
+	if si.Phase == PhaseMAC && p < s.numPos && si.R < s.numRed {
+		inIdx = s.aIndex(p, si.R)
+	}
+	wIdx = -1
+	if (si.Phase == PhaseLoad || si.Phase == PhaseMAC) && ch < s.numCh && si.R < s.numRed {
+		wIdx = s.wIndex(si.R, ch)
+	}
+	return inIdx, wIdx, nil
+}
+
+// Dims exposes the schedule extents needed by validation harnesses.
+func Dims(cfg *accel.Config, l *Layer) (numPos, numCh, numRed int, err error) {
+	s, err := l.newSchedule()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return s.numPos, s.numCh, s.numRed, nil
+}
+
+// OutIndexOf converts (position, channel) to the output tensor multi-index.
+func OutIndexOf(l *Layer, p, c int) ([]int, error) {
+	s, err := l.newSchedule()
+	if err != nil {
+		return nil, err
+	}
+	if p < 0 || p >= s.numPos || c < 0 || c >= s.numCh {
+		return nil, fmt.Errorf("rtlsim: (p=%d, c=%d) outside %dx%d", p, c, s.numPos, s.numCh)
+	}
+	return s.outIndex(p, c), nil
+}

@@ -1,0 +1,151 @@
+package rtlsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/nn"
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// Fault-pattern checks for the FC/MatMul execution mode (positions = matrix
+// rows, channels = output columns), mirroring the conv-mode tests.
+
+func fcLayer(seed int64, rows, in, out int) (*Layer, *nn.Dense, *tensor.Tensor) {
+	codec := numerics.MustCodec(numerics.FP16, 0)
+	rng := rand.New(rand.NewSource(seed))
+	d := nn.NewDense("fc", in, out, codec).InitRandom(rng, 0.3)
+	x := tensor.New(rows, in)
+	x.RandNormal(rng, 1)
+	return MatMulLayer(accel.LayerFC, x, d.W, d.B.Data(), codec), d, x
+}
+
+// A held-weight fault in FC mode corrupts one output column index across a
+// suffix of consecutive rows — exactly the Table II FC-weight pattern
+// ("one out of 16 output neurons faulty, total <= 16").
+func TestFCWeightFaultPattern(t *testing.T) {
+	cfg := nvdla()
+	l, _, _ := fcLayer(41, 40, 12, 8)
+	golden, err := Run(cfg, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end, _ := ComputeWindow(cfg, l)
+	rng := rand.New(rand.NewSource(41))
+	hits := 0
+	for trial := 0; trial < 60 && hits < 15; trial++ {
+		f := &Fault{FF: FFWReg, Mac: rng.Intn(8), Bit: 14, Cycle: start + rng.Int63n(end-start)}
+		faulty, err := Run(cfg, l, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := golden.Out.DiffIndices(faulty.Out, 0)
+		if !faulty.FaultApplied || len(diffs) == 0 {
+			continue
+		}
+		hits++
+		if len(diffs) > 16 {
+			t.Fatalf("FC weight fault corrupted %d neurons, want <= 16", len(diffs))
+		}
+		col := golden.Out.Unflatten(diffs[0])[1]
+		prevRow := -1
+		for _, off := range diffs {
+			idx := golden.Out.Unflatten(off)
+			if idx[1] != col {
+				t.Fatalf("FC weight fault crossed output columns: %v", idx)
+			}
+			if prevRow >= 0 && idx[0] != prevRow+1 {
+				t.Fatalf("FC weight fault rows not consecutive")
+			}
+			prevRow = idx[0]
+		}
+	}
+	if hits < 5 {
+		t.Fatalf("only %d live FC weight faults", hits)
+	}
+}
+
+// A broadcast-input fault in FC mode corrupts up to 16 consecutive output
+// columns of one row (the Table II FC-input pattern).
+func TestFCInputFaultPattern(t *testing.T) {
+	cfg := nvdla()
+	l, _, _ := fcLayer(42, 20, 10, 40)
+	golden, err := Run(cfg, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, end, _ := ComputeWindow(cfg, l)
+	rng := rand.New(rand.NewSource(42))
+	hits := 0
+	for trial := 0; trial < 60 && hits < 15; trial++ {
+		f := &Fault{FF: FFInputReg, Bit: 14, Cycle: start + rng.Int63n(end-start)}
+		faulty, err := Run(cfg, l, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := golden.Out.DiffIndices(faulty.Out, 0)
+		if !faulty.FaultApplied || len(diffs) == 0 {
+			continue
+		}
+		hits++
+		if len(diffs) > 16 {
+			t.Fatalf("FC input fault corrupted %d neurons, want <= 16", len(diffs))
+		}
+		row := golden.Out.Unflatten(diffs[0])[0]
+		group := golden.Out.Unflatten(diffs[0])[1] / 16
+		for _, off := range diffs {
+			idx := golden.Out.Unflatten(off)
+			if idx[0] != row || idx[1]/16 != group {
+				t.Fatalf("FC input fault escaped row/group: %v", idx)
+			}
+		}
+	}
+	if hits < 5 {
+		t.Fatalf("only %d live FC input faults", hits)
+	}
+}
+
+// CDMA faults in matmul mode corrupt exactly the users of the struck word.
+func TestMatMulCDMAFault(t *testing.T) {
+	cfg := nvdla()
+	codec := numerics.MustCodec(numerics.FP16, 0)
+	rng := rand.New(rand.NewSource(43))
+	a, b := tensor.New(12, 9), tensor.New(9, 11)
+	a.RandNormal(rng, 1)
+	b.RandNormal(rng, 1)
+	l := MatMulLayer(accel.LayerMatMul, a, b, nil, codec)
+	golden, err := Run(cfg, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one element of A: its row's neurons are the only candidates.
+	elem := a.Offset(4, 2)
+	f := &Fault{FF: FFCDMAIn0, Bit: 13, Cycle: int64(elem)}
+	faulty, err := Run(cfg, l, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := golden.Out.DiffIndices(faulty.Out, 0)
+	if len(diffs) == 0 {
+		t.Fatal("A-element fault should corrupt outputs")
+	}
+	for _, off := range diffs {
+		if golden.Out.Unflatten(off)[0] != 4 {
+			t.Fatalf("A[4,2] fault corrupted row %d", golden.Out.Unflatten(off)[0])
+		}
+	}
+	// Flip one element of B: only its column can change.
+	elem = b.Offset(3, 7)
+	f = &Fault{FF: FFCDMAWt0, Bit: 13, Cycle: int64(elem)}
+	faulty, err = Run(cfg, l, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range golden.Out.DiffIndices(faulty.Out, 0) {
+		if golden.Out.Unflatten(off)[1] != 7 {
+			t.Fatalf("B[3,7] fault corrupted column %d", golden.Out.Unflatten(off)[1])
+		}
+	}
+}

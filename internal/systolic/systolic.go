@@ -1,0 +1,215 @@
+// Package systolic is a second cycle-level golden reference, independent of
+// the NVDLA-like engine in rtlsim: an output-stationary k×k systolic matmul
+// array of the Fig 2(b) design class. It exists to demonstrate the paper's
+// claim that Reuse Factor Analysis applies across accelerator dataflows —
+// the same Algorithm 1 reasoning predicts this design's fault behaviour,
+// and the tests validate the predictions against cycle simulation.
+//
+// Dataflow (classic output-stationary schedule): PE(i,j) accumulates
+// C[i,j] = Σ_p A[i,p]·B[p,j]. A values stream rightward through row i (one
+// PE per cycle, so one A register value is reused by up to k PEs — k
+// neurons of one output row); B values stream downward through column j
+// (reused by up to k neurons of one output column); partial sums never
+// move (RF = 1). Inputs are skewed so that A[i,p] meets B[p,j] at PE(i,j)
+// at cycle p + i + j.
+package systolic
+
+import (
+	"fmt"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// FF names the fault-injection targets of the array.
+type FF string
+
+const (
+	// FFARow is the A-stream register of PE(Row, Col): a fault corrupts the
+	// value as it continues rightward (suffix of row Row's neurons).
+	FFARow FF = "pe.a"
+	// FFBCol is the B-stream register of PE(Row, Col): a fault corrupts the
+	// value as it continues downward (suffix of column Col's neurons).
+	FFBCol FF = "pe.b"
+	// FFAcc is PE(Row, Col)'s stationary accumulator: RF = 1.
+	FFAcc FF = "pe.acc"
+)
+
+// Fault is a single-cycle bit flip in one PE register.
+type Fault struct {
+	FF       FF
+	Row, Col int
+	Bit      int
+	Cycle    int64
+}
+
+// Outcome is one simulation result.
+type Outcome struct {
+	Out *tensor.Tensor
+	// Cycles is the makespan of the skewed schedule.
+	Cycles int64
+	// FaultApplied reports whether the fault hit a live register.
+	FaultApplied bool
+}
+
+// Engine simulates C = A·B on a k×k output-stationary array. Matrices
+// larger than k×k are processed in k×k output tiles with the same schedule
+// per tile.
+type Engine struct {
+	k     int
+	codec numerics.Codec
+
+	a, b *tensor.Tensor
+	m    int
+	kk   int // inner dimension
+	n    int
+
+	// aReg[i][j], bReg[i][j]: the streaming registers of PE(i,j).
+	aReg, bReg [][]float32
+	acc        [][]float32
+
+	out   *tensor.Tensor
+	cycle int64
+	fault *Fault
+	fired bool
+}
+
+// NewEngine prepares a simulation of A(m×kk)·B(kk×n) on a k×k array.
+func NewEngine(k int, a, b *tensor.Tensor, codec numerics.Codec, fault *Fault) (*Engine, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("systolic: array dimension must be positive, got %d", k)
+	}
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("systolic: rank-2 operands required, got %v and %v", a.Shape(), b.Shape())
+	}
+	if a.Dim(1) != b.Dim(0) {
+		return nil, fmt.Errorf("systolic: inner dims %d vs %d", a.Dim(1), b.Dim(0))
+	}
+	e := &Engine{
+		k: k, codec: codec, a: a, b: b,
+		m: a.Dim(0), kk: a.Dim(1), n: b.Dim(1),
+		out:   tensor.New(a.Dim(0), b.Dim(1)),
+		fault: fault,
+	}
+	e.aReg = make([][]float32, k)
+	e.bReg = make([][]float32, k)
+	e.acc = make([][]float32, k)
+	for i := 0; i < k; i++ {
+		e.aReg[i] = make([]float32, k)
+		e.bReg[i] = make([]float32, k)
+		e.acc[i] = make([]float32, k)
+	}
+	if fault != nil {
+		if fault.Row < 0 || fault.Row >= k || fault.Col < 0 || fault.Col >= k {
+			return nil, fmt.Errorf("systolic: fault PE (%d,%d) outside %dx%d array", fault.Row, fault.Col, k, k)
+		}
+	}
+	return e, nil
+}
+
+// tileCycles is the makespan of one output tile: the last operand pair
+// (p = kk-1) meets PE(k-1, k-1) at cycle (kk-1) + (k-1) + (k-1).
+func (e *Engine) tileCycles() int64 {
+	return int64(e.kk) + 2*int64(e.k) - 1
+}
+
+// Run simulates all output tiles and returns the outcome.
+func (e *Engine) Run() (*Outcome, error) {
+	tilesM := (e.m + e.k - 1) / e.k
+	tilesN := (e.n + e.k - 1) / e.k
+	for tm := 0; tm < tilesM; tm++ {
+		for tn := 0; tn < tilesN; tn++ {
+			e.runTile(tm, tn)
+		}
+	}
+	return &Outcome{Out: e.out, Cycles: e.cycle, FaultApplied: e.fired}, nil
+}
+
+// runTile executes the skewed schedule for output tile (tm, tn).
+func (e *Engine) runTile(tm, tn int) {
+	for i := range e.acc {
+		for j := range e.acc[i] {
+			e.acc[i][j] = 0
+			e.aReg[i][j] = 0
+			e.bReg[i][j] = 0
+		}
+	}
+	span := e.tileCycles()
+	rowBase := tm * e.k
+	colBase := tn * e.k
+	for t := int64(0); t < span; t++ {
+		// Propagate right/down: higher-index PEs first so values shift one
+		// step per cycle.
+		for i := 0; i < e.k; i++ {
+			for j := e.k - 1; j > 0; j-- {
+				e.aReg[i][j] = e.aReg[i][j-1]
+			}
+			// Row i's stream is delayed i cycles (input skew): at cycle t it
+			// receives A[rowBase+i, t-i].
+			p := int(t) - i
+			if p >= 0 && p < e.kk && rowBase+i < e.m {
+				e.aReg[i][0] = e.codec.Round(e.a.At(rowBase+i, p))
+			} else {
+				e.aReg[i][0] = 0
+			}
+		}
+		for j := 0; j < e.k; j++ {
+			for i := e.k - 1; i > 0; i-- {
+				e.bReg[i][j] = e.bReg[i-1][j]
+			}
+			p := int(t) - j
+			if p >= 0 && p < e.kk && colBase+j < e.n {
+				e.bReg[0][j] = e.codec.Round(e.b.At(p, colBase+j))
+			} else {
+				e.bReg[0][j] = 0
+			}
+		}
+		// Single-cycle register faults strike after the shift, before use.
+		if f := e.fault; f != nil && f.Cycle == e.cycle {
+			switch f.FF {
+			case FFARow:
+				e.aReg[f.Row][f.Col] = e.codec.FlipBit(e.aReg[f.Row][f.Col], f.Bit)
+				e.fired = true
+			case FFBCol:
+				e.bReg[f.Row][f.Col] = e.codec.FlipBit(e.bReg[f.Row][f.Col], f.Bit)
+				e.fired = true
+			case FFAcc:
+				e.acc[f.Row][f.Col] = e.codec.FlipBit(e.acc[f.Row][f.Col], f.Bit)
+				e.fired = true
+			}
+		}
+		// MAC: PE(i,j) multiplies when the wavefront p = t-i-j is valid. The
+		// operand registers hold exactly A[rowBase+i, p] and B[p, colBase+j]
+		// at that cycle by construction of the skew.
+		for i := 0; i < e.k; i++ {
+			for j := 0; j < e.k; j++ {
+				p := int(t) - i - j
+				if p < 0 || p >= e.kk {
+					continue
+				}
+				e.acc[i][j] += e.codec.MulPre(e.aReg[i][j], e.bReg[i][j])
+			}
+		}
+		e.cycle++
+	}
+	// Drain: write back the tile.
+	for i := 0; i < e.k && rowBase+i < e.m; i++ {
+		for j := 0; j < e.k && colBase+j < e.n; j++ {
+			e.out.Set(e.codec.Saturate(e.acc[i][j]), rowBase+i, colBase+j)
+		}
+	}
+}
+
+// Run is the package-level convenience.
+func Run(k int, a, b *tensor.Tensor, codec numerics.Codec, f *Fault) (*Outcome, error) {
+	e, err := NewEngine(k, a, b, codec, f)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// TileCycles exposes the per-tile makespan for fault-cycle sampling.
+func TileCycles(k, inner int) int64 {
+	return int64(inner) + 2*int64(k) - 1
+}

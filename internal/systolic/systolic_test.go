@@ -1,0 +1,243 @@
+package systolic
+
+import (
+	"math/rand"
+	"testing"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/reuse"
+	"fidelity/internal/tensor"
+)
+
+func fp16() numerics.Codec { return numerics.MustCodec(numerics.FP16, 0) }
+
+func randMats(seed int64, m, k, n int) (*tensor.Tensor, *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	a, b := tensor.New(m, k), tensor.New(k, n)
+	a.RandNormal(rng, 1)
+	b.RandNormal(rng, 1)
+	return a, b
+}
+
+// reference computes the matmul with the same codec arithmetic and
+// accumulation order (p ascending) as the array.
+func reference(a, b *tensor.Tensor, codec numerics.Codec) *tensor.Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := tensor.New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += codec.Mul(a.At(i, p), b.At(p, j))
+			}
+			out.Set(codec.Saturate(acc), i, j)
+		}
+	}
+	return out
+}
+
+func TestGoldenMatchesReference(t *testing.T) {
+	for _, prec := range []numerics.Precision{numerics.FP32, numerics.FP16, numerics.INT8} {
+		codec := numerics.MustCodec(prec, 8)
+		a, b := randMats(1, 9, 13, 11) // non-multiples of k: tiling edge cases
+		o, err := Run(4, a, b, codec, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", prec, err)
+		}
+		ref := reference(a, b, codec)
+		if diffs := ref.DiffIndices(o.Out, 0); len(diffs) != 0 {
+			t.Errorf("%v: systolic golden differs from reference at %d/%d", prec, len(diffs), ref.Size())
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	codec := fp16()
+	a, b := randMats(2, 4, 4, 4)
+	if _, err := Run(0, a, b, codec, nil); err == nil {
+		t.Error("zero array dim should fail")
+	}
+	if _, err := Run(4, tensor.New(3, 4), tensor.New(5, 3), codec, nil); err == nil {
+		t.Error("inner mismatch should fail")
+	}
+	if _, err := Run(4, a, b, codec, &Fault{FF: FFAcc, Row: 9, Col: 0}); err == nil {
+		t.Error("fault outside array should fail")
+	}
+}
+
+// An A-stream register fault corrupts a suffix of one output row — the
+// systolic analog of the Fig 2(b) linear reuse pattern, RF <= k.
+func TestFaultAStreamRowPattern(t *testing.T) {
+	codec := fp16()
+	const k = 4
+	a, b := randMats(3, k, 6, k)
+	golden, _ := Run(k, a, b, codec, nil)
+	rng := rand.New(rand.NewSource(3))
+	span := TileCycles(k, 6)
+	hits, sizes := 0, map[int]bool{}
+	for trial := 0; trial < 60; trial++ {
+		f := &Fault{FF: FFARow, Row: rng.Intn(k), Col: rng.Intn(k), Bit: 14, Cycle: rng.Int63n(span)}
+		faulty, err := Run(k, a, b, codec, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := golden.Out.DiffIndices(faulty.Out, 0)
+		if !faulty.FaultApplied || len(diffs) == 0 {
+			continue
+		}
+		hits++
+		if len(diffs) > k {
+			t.Fatalf("A-stream fault corrupted %d neurons, want <= %d", len(diffs), k)
+		}
+		sizes[len(diffs)] = true
+		row := golden.Out.Unflatten(diffs[0])[0]
+		var cols []int
+		for _, off := range diffs {
+			idx := golden.Out.Unflatten(off)
+			if idx[0] != row {
+				t.Fatalf("A-stream fault crossed rows: %v", idx)
+			}
+			cols = append(cols, idx[1])
+		}
+		// Corrupted columns are consecutive (the value keeps streaming).
+		for i := 1; i < len(cols); i++ {
+			if cols[i] != cols[i-1]+1 {
+				t.Fatalf("A-stream corruption not consecutive: %v", cols)
+			}
+		}
+	}
+	if hits < 10 {
+		t.Fatalf("only %d live A-stream faults", hits)
+	}
+	if len(sizes) < 2 {
+		t.Errorf("suffix sizes should vary with the struck column, got %v", sizes)
+	}
+}
+
+// A B-stream register fault corrupts a suffix of one output column.
+func TestFaultBStreamColPattern(t *testing.T) {
+	codec := fp16()
+	const k = 4
+	a, b := randMats(4, k, 5, k)
+	golden, _ := Run(k, a, b, codec, nil)
+	rng := rand.New(rand.NewSource(4))
+	span := TileCycles(k, 5)
+	hits := 0
+	for trial := 0; trial < 60; trial++ {
+		f := &Fault{FF: FFBCol, Row: rng.Intn(k), Col: rng.Intn(k), Bit: 14, Cycle: rng.Int63n(span)}
+		faulty, err := Run(k, a, b, codec, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := golden.Out.DiffIndices(faulty.Out, 0)
+		if !faulty.FaultApplied || len(diffs) == 0 {
+			continue
+		}
+		hits++
+		if len(diffs) > k {
+			t.Fatalf("B-stream fault corrupted %d neurons, want <= %d", len(diffs), k)
+		}
+		col := golden.Out.Unflatten(diffs[0])[1]
+		for _, off := range diffs {
+			if golden.Out.Unflatten(off)[1] != col {
+				t.Fatal("B-stream fault crossed columns")
+			}
+		}
+	}
+	if hits < 10 {
+		t.Fatalf("only %d live B-stream faults", hits)
+	}
+}
+
+// Accumulator faults are stationary: RF = 1.
+func TestFaultAccRF1(t *testing.T) {
+	codec := fp16()
+	const k = 4
+	a, b := randMats(5, k, 8, k)
+	golden, _ := Run(k, a, b, codec, nil)
+	rng := rand.New(rand.NewSource(5))
+	span := TileCycles(k, 8)
+	hits := 0
+	for trial := 0; trial < 40; trial++ {
+		f := &Fault{FF: FFAcc, Row: rng.Intn(k), Col: rng.Intn(k), Bit: 20, Cycle: rng.Int63n(span)}
+		faulty, err := Run(k, a, b, codec, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs := golden.Out.DiffIndices(faulty.Out, 0)
+		if !faulty.FaultApplied || len(diffs) == 0 {
+			continue
+		}
+		hits++
+		if len(diffs) != 1 {
+			t.Fatalf("accumulator fault corrupted %d neurons, want 1", len(diffs))
+		}
+		idx := golden.Out.Unflatten(diffs[0])
+		if idx[0] != f.Row || idx[1] != f.Col {
+			t.Fatalf("accumulator fault at PE(%d,%d) corrupted neuron %v", f.Row, f.Col, idx)
+		}
+	}
+	if hits < 5 {
+		t.Fatalf("only %d live accumulator faults", hits)
+	}
+}
+
+// Algorithm 1, fed with this design's scheduling description, predicts the
+// same reuse factors the cycle simulation exhibits: RF = k for the streaming
+// registers, RF = 1 for accumulators — the paper's broad-applicability claim
+// checked on a second dataflow.
+func TestAlgorithm1PredictsSystolicRF(t *testing.T) {
+	const k = 4
+	units := make([]reuse.UnitID, k)
+	for i := range units {
+		units[i] = reuse.UnitID(i)
+	}
+	aStream := reuse.Input{
+		FFValueCycles:  1,
+		Units:          func(l int) []reuse.UnitID { return units }, // reaches k PEs as it streams
+		InEffectCycles: func(m reuse.UnitID, l int) int { return 1 },
+		Neurons: func(m reuse.UnitID, y, l int) []reuse.Neuron {
+			return []reuse.Neuron{{W: int(m)}} // consecutive columns of one row
+		},
+	}
+	r, err := reuse.Analyze(aStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != k {
+		t.Errorf("Algorithm 1 predicts RF=%d for the A stream, want %d", r.RF, k)
+	}
+	accIn := reuse.Input{
+		FFValueCycles:  1,
+		Units:          func(l int) []reuse.UnitID { return units[:1] },
+		InEffectCycles: func(m reuse.UnitID, l int) int { return 1 },
+		Neurons: func(m reuse.UnitID, y, l int) []reuse.Neuron {
+			return []reuse.Neuron{{}}
+		},
+	}
+	r, err = reuse.Analyze(accIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.RF != 1 {
+		t.Errorf("Algorithm 1 predicts RF=%d for accumulators, want 1", r.RF)
+	}
+}
+
+// Faults aimed at idle cycles or drained registers are masked.
+func TestInactiveCyclesMasked(t *testing.T) {
+	codec := fp16()
+	a, b := randMats(6, 4, 4, 4)
+	f := &Fault{FF: FFARow, Row: 0, Col: 0, Bit: 14, Cycle: 1 << 40}
+	faulty, err := Run(4, a, b, codec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FaultApplied {
+		t.Error("far-future fault should not fire")
+	}
+	golden, _ := Run(4, a, b, codec, nil)
+	if len(golden.Out.DiffIndices(faulty.Out, 0)) != 0 {
+		t.Error("inactive fault must be masked")
+	}
+}

@@ -1,0 +1,216 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns t + u elementwise. Shapes must match.
+func Add(t, u *Tensor) *Tensor {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] += u.data[i]
+	}
+	return out
+}
+
+// Sub returns t - u elementwise.
+func Sub(t, u *Tensor) *Tensor {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] -= u.data[i]
+	}
+	return out
+}
+
+// Mul returns t * u elementwise (Hadamard product).
+func Mul(t, u *Tensor) *Tensor {
+	if !t.SameShape(u) {
+		panic(fmt.Sprintf("tensor: Mul shape mismatch %v vs %v", t.shape, u.shape))
+	}
+	out := t.Clone()
+	for i := range out.data {
+		out.data[i] *= u.data[i]
+	}
+	return out
+}
+
+// Scale returns t * s.
+func Scale(t *Tensor, s float32) *Tensor {
+	return t.Map(func(x float32) float32 { return x * s })
+}
+
+// MatMul computes the matrix product of a (m×k) and b (k×n). Both tensors
+// must be rank 2.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d and %d differ", k, k2))
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the rank-2 transpose of t.
+func Transpose(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose requires rank 2, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Softmax applies a numerically stable softmax along the last dimension.
+func Softmax(t *Tensor) *Tensor {
+	last := t.shape[len(t.shape)-1]
+	rows := t.Size() / last
+	out := t.Clone()
+	for r := 0; r < rows; r++ {
+		row := out.data[r*last : (r+1)*last]
+		maxv := float32(math.Inf(-1))
+		for _, x := range row {
+			if x > maxv {
+				maxv = x
+			}
+		}
+		var sum float64
+		for i, x := range row {
+			e := math.Exp(float64(x - maxv))
+			row[i] = float32(e)
+			sum += e
+		}
+		if sum == 0 || math.IsNaN(sum) {
+			// Degenerate row (all -Inf or NaN): emit uniform distribution so
+			// downstream argmax remains well-defined under faults.
+			for i := range row {
+				row[i] = 1 / float32(last)
+			}
+			continue
+		}
+		for i := range row {
+			row[i] /= float32(sum)
+		}
+	}
+	return out
+}
+
+// Concat concatenates tensors along the given axis. All other dimensions
+// must match.
+func Concat(axis int, ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: Concat of nothing")
+	}
+	rank := ts[0].Rank()
+	if axis < 0 || axis >= rank {
+		panic(fmt.Sprintf("tensor: Concat axis %d out of range for rank %d", axis, rank))
+	}
+	outShape := append([]int(nil), ts[0].shape...)
+	total := ts[0].shape[axis]
+	for _, t := range ts[1:] {
+		if t.Rank() != rank {
+			panic("tensor: Concat rank mismatch")
+		}
+		for d := 0; d < rank; d++ {
+			if d != axis && t.shape[d] != outShape[d] {
+				panic(fmt.Sprintf("tensor: Concat shape mismatch at dim %d: %v vs %v", d, t.shape, outShape))
+			}
+		}
+		total += t.shape[axis]
+	}
+	outShape[axis] = total
+	out := New(outShape...)
+
+	// Copy block by block: outer = product of dims before axis,
+	// inner = product of dims after axis.
+	outer := 1
+	for d := 0; d < axis; d++ {
+		outer *= outShape[d]
+	}
+	inner := 1
+	for d := axis + 1; d < rank; d++ {
+		inner *= outShape[d]
+	}
+	outAxisStride := total * inner
+	offset := 0
+	for _, t := range ts {
+		blk := t.shape[axis] * inner
+		for o := 0; o < outer; o++ {
+			src := t.data[o*blk : (o+1)*blk]
+			dst := out.data[o*outAxisStride+offset*inner:]
+			copy(dst[:blk], src)
+		}
+		offset += t.shape[axis]
+	}
+	return out
+}
+
+// Pad2D zero-pads an NHWC tensor by p rows/cols on each spatial side.
+func Pad2D(t *Tensor, p int) *Tensor {
+	if t.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Pad2D requires NHWC rank 4, got %v", t.shape))
+	}
+	if p == 0 {
+		return t.Clone()
+	}
+	n, h, w, c := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	out := New(n, h+2*p, w+2*p, c)
+	for b := 0; b < n; b++ {
+		for y := 0; y < h; y++ {
+			srcOff := t.Offset(b, y, 0, 0)
+			dstOff := out.Offset(b, y+p, p, 0)
+			copy(out.data[dstOff:dstOff+w*c], t.data[srcOff:srcOff+w*c])
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements in float64 for accuracy.
+func Sum(t *Tensor) float64 {
+	var s float64
+	for _, x := range t.data {
+		s += float64(x)
+	}
+	return s
+}
+
+// Dot computes the float64 inner product of two equal-length tensors.
+func Dot(a, b *Tensor) float64 {
+	if a.Size() != b.Size() {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", a.Size(), b.Size()))
+	}
+	var s float64
+	for i := range a.data {
+		s += float64(a.data[i]) * float64(b.data[i])
+	}
+	return s
+}
