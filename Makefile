@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml — `make ci` runs everything CI runs.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrency-critical packages (the sharded campaign engine
+# and the injector). Slow: the campaign suite takes several minutes under -race.
+race:
+	$(GO) test -race -timeout 30m ./internal/campaign/... ./internal/inject/...
+
+# One iteration of every benchmark — smoke, not measurement.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+fmt:
+	@diff=$$(gofmt -l .); \
+	if [ -n "$$diff" ]; then \
+		echo "files need gofmt:"; echo "$$diff"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build test race bench

@@ -20,6 +20,7 @@ package fidelity
 //	BenchmarkAblation*    — design-choice ablations (see DESIGN.md §5)
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -129,7 +130,7 @@ func benchStudy(b *testing.B, key, title string, cells []struct {
 	}
 	var results []*campaign.StudyResult
 	for _, c := range cells {
-		r, err := fw.Analyze(c.net, c.prec, campaign.StudyOptions{
+		r, err := fw.Analyze(context.Background(), c.net, c.prec, campaign.StudyOptions{
 			Samples: 60, Inputs: 2, Tolerance: c.tol, Seed: 1,
 		})
 		if err != nil {
@@ -140,7 +141,7 @@ func benchStudy(b *testing.B, key, title string, cells []struct {
 	once(b, key, core.FITChart(title, results, protected).String())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fw.Analyze(cells[0].net, cells[0].prec, campaign.StudyOptions{
+		if _, err := fw.Analyze(context.Background(), cells[0].net, cells[0].prec, campaign.StudyOptions{
 			Samples: 7, Inputs: 1, Tolerance: cells[0].tol, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -191,7 +192,7 @@ func BenchmarkKeyResult5(b *testing.B) {
 	}
 	var small, large campaign.Proportion
 	for _, net := range []string{"inception", "resnet"} {
-		r, err := fw.Analyze(net, numerics.FP16, campaign.StudyOptions{
+		r, err := fw.Analyze(context.Background(), net, numerics.FP16, campaign.StudyOptions{
 			Samples: 120, Inputs: 2, Tolerance: 0.1, Seed: 1,
 		})
 		if err != nil {
@@ -210,7 +211,7 @@ func BenchmarkKeyResult5(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fw.Analyze("resnet", numerics.FP16, campaign.StudyOptions{
+		if _, err := fw.Analyze(context.Background(), "resnet", numerics.FP16, campaign.StudyOptions{
 			Samples: 7, Inputs: 1, Tolerance: 0.1, Seed: int64(i),
 		}); err != nil {
 			b.Fatal(err)
@@ -251,7 +252,7 @@ func BenchmarkBaseline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	st, err := campaign.Study(cfg, w, campaign.StudyOptions{Samples: 40, Inputs: 2, Tolerance: 0.1, Seed: 1})
+	st, err := campaign.Study(context.Background(), cfg, w, campaign.StudyOptions{Samples: 40, Inputs: 2, Tolerance: 0.1, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func BenchmarkInjection(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := inj.Run(faultmodel.CBUFMACWeight, 0.1); err != nil {
+		if _, err := inj.Run(context.Background(), faultmodel.CBUFMACWeight, 0.1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 
 	"fidelity/internal/accel"
 	"fidelity/internal/campaign"
@@ -29,6 +32,10 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the injection campaign behind `sensitivity`
+	// cleanly at an experiment boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -41,7 +48,7 @@ func main() {
 	case "census":
 		err = census()
 	case "sensitivity":
-		err = sensitivity(args)
+		err = sensitivity(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -137,7 +144,7 @@ func fig2(args []string) error {
 	return nil
 }
 
-func sensitivity(args []string) error {
+func sensitivity(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
 	net := fs.String("net", "yolo", "workload")
 	samples := fs.Int("samples", 200, "experiments per fault model")
@@ -151,13 +158,13 @@ func sensitivity(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := fw.Analyze(*net, numerics.FP16, campaign.StudyOptions{
+	res, err := fw.Analyze(ctx, *net, numerics.FP16, campaign.StudyOptions{
 		Samples: *samples, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
 	})
 	if err != nil {
 		return err
 	}
-	lo, hi, err := campaign.SensitivityBounds(cfg, res, *ffDelta, *actDelta)
+	lo, hi, err := campaign.SensitivityBounds(ctx, cfg, res, *ffDelta, *actDelta)
 	if err != nil {
 		return err
 	}

@@ -16,13 +16,26 @@
 // (estimate Prob_SWmask per layer — the exact Eq. 2 form). The paper's study
 // is 46M experiments; -samples scales the per-model count (Wilson 95% CIs
 // are reported so the statistical resolution is explicit).
+//
+// Campaigns are long-lived jobs, not function calls. SIGINT (Ctrl-C) stops
+// the run at an experiment boundary and saves a resumable checkpoint to
+// -checkpoint; rerunning with -resume <file> continues it to a result
+// identical to an uninterrupted run. -progress <interval> emits JSONL
+// telemetry snapshots to stderr, and -manifest writes a machine-readable
+// run summary next to the report output.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"fidelity/internal/accel"
 	"fidelity/internal/baseline"
@@ -32,6 +45,7 @@ import (
 	"fidelity/internal/model"
 	"fidelity/internal/numerics"
 	"fidelity/internal/report"
+	"fidelity/internal/telemetry"
 )
 
 func main() {
@@ -44,50 +58,236 @@ func main() {
 	inputs := flag.Int("inputs", 4, "distinct dataset inputs per workload")
 	iters := flag.Int("iters", 200, "timing iterations for -speedup")
 	seed := flag.Int64("seed", 1, "sampling seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel injection workers")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel injection workers (affects speed only, never results)")
+	shards := flag.Int("shards", 0, "deterministic sampling shards (0 = default; part of the campaign identity like -seed)")
 	perLayer := flag.Bool("perlayer", false, "estimate Prob_SWmask per layer (exact Eq. 2; multiplies experiment count)")
 	protect := flag.Bool("protect", false, "selective-protection plan for yolo (Architectural Insights)")
+	resume := flag.String("resume", "", "resume an interrupted campaign from this checkpoint file")
+	checkpoint := flag.String("checkpoint", "study.checkpoint.json", "checkpoint file for interrupted campaigns (empty disables)")
+	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint save interval (0 = save only on interrupt)")
+	progress := flag.Duration("progress", 0, "emit JSONL progress snapshots to stderr at this interval (0 = off)")
+	manifest := flag.String("manifest", "study.manifest.json", "write a machine-readable run manifest to this file (empty disables)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the campaign context; workers stop at an
+	// experiment boundary and the engine saves a checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := accel.NVDLASmall()
 	fw, err := core.New(cfg)
 	if err != nil {
 		fail(err)
 	}
-	opts := campaign.StudyOptions{
-		Samples: *samples, Inputs: *inputs, Seed: *seed,
-		Workers: *workers, PerLayer: *perLayer,
+	r := &runner{
+		ctx: ctx, fw: fw, cfg: cfg,
+		tel:   telemetry.New(),
+		start: time.Now(),
+		opts: campaign.StudyOptions{
+			Samples: *samples, Inputs: *inputs, Seed: *seed,
+			Workers: *workers, Shards: *shards, PerLayer: *perLayer,
+			CheckpointPath:     *checkpoint,
+			CheckpointInterval: *ckptInterval,
+		},
 	}
+	r.opts.Telemetry = r.tel
+	if *resume != "" {
+		cp, err := campaign.LoadCheckpoint(*resume)
+		if err != nil {
+			fail(err)
+		}
+		r.opts.Resume = cp
+		if r.opts.CheckpointPath == "" {
+			r.opts.CheckpointPath = *resume
+		}
+		fmt.Fprintf(os.Stderr, "study: resuming %s/%s@%g from %s (%d experiments done)\n",
+			cp.Workload, cp.Precision, cp.Tolerance, *resume, cp.Experiments)
+	}
+	stopProgress := r.emitProgress(*progress)
 
 	switch {
 	case *setup:
+		r.mode = "setup"
 		printSetup()
 	case *fig == 4:
-		err = fig4(fw, opts)
+		r.mode = "fig4"
+		err = fig4(r)
 	case *fig == 5:
-		err = fig5(fw, opts)
+		r.mode = "fig5"
+		err = fig5(r)
 	case *fig == 6:
-		err = fig6(fw, opts)
+		r.mode = "fig6"
+		err = fig6(r)
 	case *perturbation:
-		err = keyResult5(fw, opts)
+		r.mode = "perturbation"
+		err = keyResult5(r)
 	case *speedup:
+		r.mode = "speedup"
 		err = speedupCmp(fw, *iters, *seed)
 	case *naive:
-		err = naiveCmp(fw, cfg, opts)
+		r.mode = "baseline"
+		err = naiveCmp(r)
 	case *protect:
-		err = protectPlan(fw, cfg, opts)
+		r.mode = "protect"
+		err = protectPlan(r)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProgress()
+
+	var intr *campaign.Interrupted
+	if errors.As(err, &intr) {
+		r.writeManifest(*manifest, intr)
+		if intr.Path != "" {
+			fmt.Fprintf(os.Stderr, "study: interrupted after %d experiments; checkpoint saved to %s\n",
+				r.tel.Experiments(), intr.Path)
+			fmt.Fprintf(os.Stderr, "study: rerun with -resume %s to continue\n", intr.Path)
+		} else {
+			fmt.Fprintln(os.Stderr, "study: interrupted (no -checkpoint configured; progress discarded)")
+		}
+		os.Exit(130)
+	}
 	if err != nil {
 		fail(err)
 	}
+	// The campaign completed: a leftover (periodic or resumed-from)
+	// checkpoint would only repeat the finished run, so clean it up.
+	if p := r.opts.CheckpointPath; p != "" {
+		if _, statErr := os.Stat(p); statErr == nil {
+			os.Remove(p)
+		}
+	}
+	r.writeManifest(*manifest, nil)
 }
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "study:", err)
 	os.Exit(1)
+}
+
+// runner threads the shared campaign machinery — context, options,
+// telemetry, and the result log that feeds the run manifest — through the
+// study modes.
+type runner struct {
+	ctx     context.Context
+	fw      *core.Framework
+	cfg     *accel.Config
+	opts    campaign.StudyOptions
+	tel     *telemetry.Collector
+	start   time.Time
+	mode    string
+	results []*campaign.StudyResult
+}
+
+// analyze runs one (workload, precision, tolerance) study cell and logs the
+// result for the manifest.
+func (r *runner) analyze(net string, prec numerics.Precision, tol float64) (*campaign.StudyResult, error) {
+	opts := r.opts
+	opts.Tolerance = tol
+	res, err := r.fw.Analyze(r.ctx, net, prec, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.results = append(r.results, res)
+	return res, nil
+}
+
+// emitProgress starts the periodic JSONL telemetry emitter (stderr, one
+// snapshot per line) and returns its stop function.
+func (r *runner) emitProgress(interval time.Duration) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		enc := json.NewEncoder(os.Stderr)
+		var prev telemetry.Snapshot
+		for {
+			select {
+			case <-t.C:
+				snap := r.tel.Snapshot()
+				line := progressLine{Snapshot: snap, IntervalPerSec: snap.RateSince(prev)}
+				_ = enc.Encode(line)
+				prev = snap
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() { close(stop); <-done }
+}
+
+// progressLine is one JSONL progress record: the cumulative telemetry
+// snapshot plus the experiments/sec over the last emission window.
+type progressLine struct {
+	telemetry.Snapshot
+	IntervalPerSec float64 `json:"interval_per_sec"`
+}
+
+// manifestResult summarizes one study cell in the run manifest.
+type manifestResult struct {
+	Workload     string  `json:"workload"`
+	Precision    string  `json:"precision"`
+	Tolerance    float64 `json:"tolerance"`
+	FIT          float64 `json:"fit"`
+	FITProtected float64 `json:"fit_protected"`
+	Experiments  int     `json:"experiments"`
+}
+
+// runManifest is the machine-readable summary written next to the report
+// output after every run.
+type runManifest struct {
+	Command     string             `json:"command"`
+	Args        []string           `json:"args"`
+	Mode        string             `json:"mode"`
+	Start       time.Time          `json:"start"`
+	End         time.Time          `json:"end"`
+	Seed        int64              `json:"seed"`
+	Samples     int                `json:"samples"`
+	Inputs      int                `json:"inputs"`
+	Workers     int                `json:"workers"`
+	Shards      int                `json:"shards"`
+	PerLayer    bool               `json:"per_layer,omitempty"`
+	Interrupted bool               `json:"interrupted,omitempty"`
+	Checkpoint  string             `json:"checkpoint,omitempty"`
+	Telemetry   telemetry.Snapshot `json:"telemetry"`
+	Results     []manifestResult   `json:"results,omitempty"`
+}
+
+func (r *runner) writeManifest(path string, intr *campaign.Interrupted) {
+	if path == "" {
+		return
+	}
+	m := runManifest{
+		Command: "study", Args: os.Args[1:], Mode: r.mode,
+		Start: r.start, End: time.Now(),
+		Seed: r.opts.Seed, Samples: r.opts.Samples, Inputs: r.opts.Inputs,
+		Workers: r.opts.Workers, Shards: r.opts.Shards, PerLayer: r.opts.PerLayer,
+		Telemetry: r.tel.Snapshot(),
+	}
+	if intr != nil {
+		m.Interrupted = true
+		m.Checkpoint = intr.Path
+	}
+	for _, res := range r.results {
+		m.Results = append(m.Results, manifestResult{
+			Workload: res.Workload, Precision: res.Precision, Tolerance: res.Tolerance,
+			FIT: res.FIT.Total, FITProtected: res.FITProtected.Total,
+			Experiments: res.Experiments,
+		})
+	}
+	blob, err := json.MarshalIndent(m, "", " ")
+	if err == nil {
+		err = os.WriteFile(path, append(blob, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "study: manifest:", err)
+	}
 }
 
 func printSetup() {
@@ -102,20 +302,19 @@ func printSetup() {
 }
 
 // fig4: Accelerator FIT for the three CNNs across FP16/INT16/INT8.
-func fig4(fw *core.Framework, opts campaign.StudyOptions) error {
+func fig4(r *runner) error {
 	var results []*campaign.StudyResult
 	for _, net := range []string{"inception", "resnet", "mobilenet"} {
 		for _, p := range []numerics.Precision{numerics.FP16, numerics.INT16, numerics.INT8} {
-			opts.Tolerance = 0.1
-			r, err := fw.Analyze(net, p, opts)
+			res, err := r.analyze(net, p, 0.1)
 			if err != nil {
 				return err
 			}
-			results = append(results, r)
+			results = append(results, res)
 			fmt.Printf("  %s/%s: FIT=%.2f (datapath=%.2f local=%.2f global=%.2f), %d experiments\n",
-				r.Workload, r.Precision, r.FIT.Total,
-				r.FIT.ByClass[accel.Datapath], r.FIT.ByClass[accel.LocalControl],
-				r.FIT.ByClass[accel.GlobalControl], r.Experiments)
+				res.Workload, res.Precision, res.FIT.Total,
+				res.FIT.ByClass[accel.Datapath], res.FIT.ByClass[accel.LocalControl],
+				res.FIT.ByClass[accel.GlobalControl], res.Experiments)
 		}
 	}
 	fmt.Println()
@@ -124,16 +323,15 @@ func fig4(fw *core.Framework, opts campaign.StudyOptions) error {
 }
 
 // fig5: Transformer and Yolo under both metric tolerances.
-func fig5(fw *core.Framework, opts campaign.StudyOptions) error {
+func fig5(r *runner) error {
 	var results []*campaign.StudyResult
 	for _, net := range []string{"transformer", "yolo"} {
 		for _, tol := range []float64{0.1, 0.2} {
-			opts.Tolerance = tol
-			r, err := fw.Analyze(net, numerics.FP16, opts)
+			res, err := r.analyze(net, numerics.FP16, tol)
 			if err != nil {
 				return err
 			}
-			results = append(results, r)
+			results = append(results, res)
 		}
 	}
 	fmt.Print(core.FITChart("Fig 5: Accelerator FIT rate (Transformer & Yolo, 10%/20% tolerance)", results, false).String())
@@ -141,15 +339,14 @@ func fig5(fw *core.Framework, opts campaign.StudyOptions) error {
 }
 
 // fig6: CNN FIT with all global control FFs protected.
-func fig6(fw *core.Framework, opts campaign.StudyOptions) error {
+func fig6(r *runner) error {
 	var results []*campaign.StudyResult
-	opts.Tolerance = 0.1
 	for _, net := range []string{"inception", "resnet", "mobilenet"} {
-		r, err := fw.Analyze(net, numerics.FP16, opts)
+		res, err := r.analyze(net, numerics.FP16, 0.1)
 		if err != nil {
 			return err
 		}
-		results = append(results, r)
+		results = append(results, res)
 	}
 	fmt.Print(core.FITChart("Fig 6: FIT with global control FFs protected", results, true).String())
 	fmt.Println("note: datapath + local control alone still exceed the 0.2 ASIL-D FF budget (Key Result 2)")
@@ -158,18 +355,17 @@ func fig6(fw *core.Framework, opts campaign.StudyOptions) error {
 
 // keyResult5: error probability by perturbation magnitude for single-faulty-
 // neuron experiments on the FP16 CNNs.
-func keyResult5(fw *core.Framework, opts campaign.StudyOptions) error {
+func keyResult5(r *runner) error {
 	var small, large campaign.Proportion
-	opts.Tolerance = 0.1
 	for _, net := range []string{"inception", "resnet", "mobilenet"} {
-		r, err := fw.Analyze(net, numerics.FP16, opts)
+		res, err := r.analyze(net, numerics.FP16, 0.1)
 		if err != nil {
 			return err
 		}
-		small.Successes += r.Perturb.SmallFail.Successes
-		small.Trials += r.Perturb.SmallFail.Trials
-		large.Successes += r.Perturb.LargeFail.Successes
-		large.Trials += r.Perturb.LargeFail.Trials
+		small.Successes += res.Perturb.SmallFail.Successes
+		small.Trials += res.Perturb.SmallFail.Trials
+		large.Successes += res.Perturb.LargeFail.Successes
+		large.Trials += res.Perturb.LargeFail.Trials
 	}
 	t := report.NewTable("Key Result 5: single-faulty-neuron experiments (FP16 CNNs)",
 		"Perturbation", "P(application output error)", "n")
@@ -196,7 +392,7 @@ func speedupCmp(fw *core.Framework, iters int, seed int64) error {
 	return nil
 }
 
-func naiveCmp(fw *core.Framework, cfg *accel.Config, opts campaign.StudyOptions) error {
+func naiveCmp(r *runner) error {
 	t := report.NewTable("Sec. VI: naive software FI vs FIdelity",
 		"Workload", "naive FIT", "FIdelity FIT", "underestimate")
 	for _, net := range []string{"inception", "resnet", "mobilenet", "yolo", "transformer", "rnn"} {
@@ -204,21 +400,23 @@ func naiveCmp(fw *core.Framework, cfg *accel.Config, opts campaign.StudyOptions)
 		if err != nil {
 			return err
 		}
-		nb, err := baseline.Run(cfg, w, baseline.Options{
-			Samples: opts.Samples, Inputs: opts.Inputs, Tolerance: 0.1, Seed: opts.Seed,
+		nb, err := baseline.Run(r.cfg, w, baseline.Options{
+			Samples: r.opts.Samples, Inputs: r.opts.Inputs, Tolerance: 0.1, Seed: r.opts.Seed,
 		})
 		if err != nil {
 			return err
 		}
+		opts := r.opts
 		opts.Tolerance = 0.1
-		st, err := campaign.Study(cfg, w, opts)
+		st, err := campaign.Study(r.ctx, r.cfg, w, opts)
 		if err != nil {
 			return err
 		}
+		r.results = append(r.results, st)
 		factor := fmt.Sprintf("%.1fx", baseline.Underestimate(st.FIT.Total, nb))
 		if nb.FIT == 0 {
 			// Zero observed naive failures: report the Wilson-bounded floor.
-			factor = fmt.Sprintf(">%.0fx", baseline.UnderestimateBound(cfg, st.FIT.Total, nb, 0))
+			factor = fmt.Sprintf(">%.0fx", baseline.UnderestimateBound(r.cfg, st.FIT.Total, nb, 0))
 		}
 		t.Addf("%s|%.3f|%.3f|%s", net, nb.FIT, st.FIT.Total, factor)
 	}
@@ -229,13 +427,12 @@ func naiveCmp(fw *core.Framework, cfg *accel.Config, opts campaign.StudyOptions)
 
 // protectPlan derives the minimal selective-protection scheme for yolo —
 // the paper's Architectural Insights example.
-func protectPlan(fw *core.Framework, cfg *accel.Config, opts campaign.StudyOptions) error {
-	opts.Tolerance = 0.1
-	res, err := fw.Analyze("yolo", numerics.FP16, opts)
+func protectPlan(r *runner) error {
+	res, err := r.analyze("yolo", numerics.FP16, 0.1)
 	if err != nil {
 		return err
 	}
-	plan, err := fit.PlanProtection(cfg, res.FIT, fit.FFBudget())
+	plan, err := fit.PlanProtection(r.cfg, res.FIT, fit.FFBudget())
 	if err != nil {
 		return err
 	}

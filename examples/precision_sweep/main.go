@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	for _, net := range []string{"inception", "resnet", "mobilenet"} {
 		fmt.Printf("%s:\n", net)
 		for _, prec := range []fidelity.Precision{fidelity.FP16, fidelity.INT16, fidelity.INT8} {
-			res, err := fw.Analyze(net, prec, fidelity.StudyOptions{
+			res, err := fw.Analyze(context.Background(), net, prec, fidelity.StudyOptions{
 				Samples:   300,
 				Inputs:    3,
 				Tolerance: 0.1,

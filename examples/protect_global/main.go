@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	fmt.Printf("ASIL-D FF budget: %.2f FIT\n\n", budget)
 	fmt.Printf("%-12s %12s %14s %10s\n", "workload", "unprotected", "global-protected", "verdict")
 	for _, net := range []string{"inception", "resnet", "mobilenet"} {
-		res, err := fw.Analyze(net, fidelity.FP16, fidelity.StudyOptions{
+		res, err := fw.Analyze(context.Background(), net, fidelity.FP16, fidelity.StudyOptions{
 			Samples:   500,
 			Inputs:    4,
 			Tolerance: 0.1,

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 
 	// 3. Run a fault-injection study: samples per fault model, rotating
 	// inputs, Top-1 correctness.
-	res, err := fw.Analyze("resnet", fidelity.FP16, fidelity.StudyOptions{
+	res, err := fw.Analyze(context.Background(), "resnet", fidelity.FP16, fidelity.StudyOptions{
 		Samples:   300,
 		Inputs:    3,
 		Tolerance: 0.1,

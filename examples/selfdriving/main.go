@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	fmt.Printf("the chipset area, so their apportioned budget is %.2f FIT.\n\n", fidelity.FFBudget())
 
 	for _, tol := range []float64{0.1, 0.2} {
-		res, err := fw.Analyze("yolo", fidelity.FP16, fidelity.StudyOptions{
+		res, err := fw.Analyze(context.Background(), "yolo", fidelity.FP16, fidelity.StudyOptions{
 			Samples:   400,
 			Inputs:    4,
 			Tolerance: tol,

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,11 +23,11 @@ func main() {
 	}
 	opts := fidelity.StudyOptions{Samples: 400, Inputs: 3, Tolerance: 0.1, Seed: 31, Workers: 2}
 
-	plain, err := fw.Analyze("resnet", fidelity.FP16, opts)
+	plain, err := fw.Analyze(context.Background(), "resnet", fidelity.FP16, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	bounded, err := fw.Analyze("resnet-bounded", fidelity.FP16, opts)
+	bounded, err := fw.Analyze(context.Background(), "resnet-bounded", fidelity.FP16, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,11 +9,15 @@
 // Typical use:
 //
 //	fw, err := fidelity.New(fidelity.NVDLASmall())
-//	res, err := fw.Analyze("yolo", fidelity.FP16, fidelity.StudyOptions{
+//	res, err := fw.Analyze(ctx, "yolo", fidelity.FP16, fidelity.StudyOptions{
 //	    Samples: 2000, Inputs: 4, Tolerance: 0.1, Seed: 1,
 //	})
 //	fmt.Printf("Accelerator FIT rate: %.2f (budget %.2f)\n",
 //	    res.FIT.Total, fidelity.FFBudget())
+//
+// Campaigns are cancellable (cancel ctx), resumable (StudyOptions.Resume
+// with a Checkpoint), and observable (StudyOptions.Telemetry); see the
+// campaign and telemetry packages.
 //
 // The package re-exports the framework's building blocks: accelerator
 // descriptions (accel), Reuse Factor Analysis (reuse), software fault
@@ -23,6 +27,8 @@
 package fidelity
 
 import (
+	"context"
+
 	"fidelity/internal/accel"
 	"fidelity/internal/baseline"
 	"fidelity/internal/campaign"
@@ -32,6 +38,7 @@ import (
 	"fidelity/internal/model"
 	"fidelity/internal/numerics"
 	"fidelity/internal/reuse"
+	"fidelity/internal/telemetry"
 )
 
 // Framework is a FIdelity instance bound to an accelerator design.
@@ -142,9 +149,30 @@ type MemoryPlan = faultmodel.MemoryPlan
 // SensitivityBounds recomputes a study's FIT under perturbed estimates of
 // the FF count (±ffDelta) and activeness (±actDelta) without re-running
 // injections — the paper's early-design sensitivity analysis.
-func SensitivityBounds(cfg *Config, res *StudyResult, ffDelta, actDelta float64) (lo, hi float64, err error) {
-	return campaign.SensitivityBounds(cfg, res, ffDelta, actDelta)
+func SensitivityBounds(ctx context.Context, cfg *Config, res *StudyResult, ffDelta, actDelta float64) (lo, hi float64, err error) {
+	return campaign.SensitivityBounds(ctx, cfg, res, ffDelta, actDelta)
 }
+
+// Checkpoint is a resumable snapshot of an interrupted injection campaign
+// (per-shard tallies, sampler stream positions, and experiment cursors).
+type Checkpoint = campaign.Checkpoint
+
+// Interrupted is the error returned by Analyze when its context is
+// cancelled mid-campaign; it carries the Checkpoint to resume from.
+type Interrupted = campaign.Interrupted
+
+// LoadCheckpoint reads a campaign checkpoint file for StudyOptions.Resume.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return campaign.LoadCheckpoint(path) }
+
+// Collector aggregates campaign telemetry: experiment/outcome counters and
+// per-phase wall-clock timings, observable concurrently via Snapshot.
+type Collector = telemetry.Collector
+
+// TelemetrySnapshot is a point-in-time view of a Collector.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewCollector returns a telemetry collector for StudyOptions.Telemetry.
+func NewCollector() *Collector { return telemetry.New() }
 
 // RawFFFITPerMB is the paper's raw FF FIT rate (600 FIT/MB, soft errors).
 const RawFFFITPerMB = fit.RawFFFITPerMB

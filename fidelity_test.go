@@ -1,6 +1,7 @@
 package fidelity
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestPublicAPIFlow(t *testing.T) {
 	if len(fw.Models) != 7 {
 		t.Fatalf("models = %d, want 7 (Table II rows)", len(fw.Models))
 	}
-	res, err := fw.Analyze("resnet", FP16, StudyOptions{Samples: 14, Inputs: 2, Tolerance: 0.1, Seed: 1})
+	res, err := fw.Analyze(context.Background(), "resnet", FP16, StudyOptions{Samples: 14, Inputs: 2, Tolerance: 0.1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

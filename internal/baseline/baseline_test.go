@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"fidelity/internal/accel"
@@ -55,7 +56,7 @@ func TestNaiveUnderestimatesFIdelity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	study, err := campaign.Study(cfg, w, campaign.StudyOptions{
+	study, err := campaign.Study(context.Background(), cfg, w, campaign.StudyOptions{
 		Samples: 25, Inputs: 2, Tolerance: 0.1, Seed: 4,
 	})
 	if err != nil {

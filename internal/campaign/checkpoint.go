@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fidelity/internal/faultmodel"
+	"fidelity/internal/model"
+)
+
+// checkpointVersion guards the on-disk format; bump on incompatible change.
+const checkpointVersion = 1
+
+// Cursor addresses the next experiment of a shard inside the campaign's
+// deterministic loop nest: input → fault model (AllIDs order) → layer
+// execution (per-layer mode only) → sample.
+type Cursor struct {
+	Input  int `json:"input"`
+	Model  int `json:"model"`
+	Exec   int `json:"exec"`
+	Sample int `json:"sample"`
+}
+
+// ShardCheckpoint is one logical shard's resumable state: the Proportion
+// tallies accumulated so far, the sampler's position in its random stream,
+// and the cursor of the next experiment to run. A shard restored from this
+// state continues bit-identically to an uninterrupted run.
+type ShardCheckpoint struct {
+	Index   int                     `json:"index"`
+	Done    bool                    `json:"done,omitempty"`
+	Sampler faultmodel.SamplerState `json:"sampler"`
+	Cursor  Cursor                  `json:"cursor"`
+	// Experiments counts this shard's completed injection runs.
+	Experiments int                            `json:"experiments"`
+	Masked      map[faultmodel.ID]Proportion   `json:"masked"`
+	PerLayer    []map[faultmodel.ID]Proportion `json:"per_layer,omitempty"`
+	Perturb     PerturbationStats              `json:"perturb"`
+}
+
+// Checkpoint is a resumable snapshot of an in-flight Study. The identity
+// fields pin the exact campaign (workload, options, seed, shard count); a
+// checkpoint only resumes a Study whose parameters match, so stale files are
+// ignored rather than silently corrupting results.
+type Checkpoint struct {
+	Version   int     `json:"version"`
+	Workload  string  `json:"workload"`
+	Precision string  `json:"precision"`
+	Tolerance float64 `json:"tolerance"`
+	Samples   int     `json:"samples"`
+	Inputs    int     `json:"inputs"`
+	Seed      int64   `json:"seed"`
+	Shards    int     `json:"shards"`
+	PerLayer  bool    `json:"per_layer,omitempty"`
+	// Experiments is the total completed across shards (convenience).
+	Experiments int               `json:"experiments"`
+	Shard       []ShardCheckpoint `json:"shard"`
+}
+
+// Matches reports whether the checkpoint belongs to the campaign defined by
+// (w, opts) with the given resolved shard count.
+func (c *Checkpoint) Matches(w *model.Workload, opts StudyOptions, shards int) bool {
+	return c != nil &&
+		c.Version == checkpointVersion &&
+		c.Workload == w.Net.Name() &&
+		c.Precision == w.Net.Precision.String() &&
+		c.Tolerance == opts.Tolerance &&
+		c.Samples == opts.Samples &&
+		c.Inputs == opts.Inputs &&
+		c.Seed == opts.Seed &&
+		c.Shards == shards &&
+		c.PerLayer == opts.PerLayer &&
+		len(c.Shard) == shards
+}
+
+// Save writes the checkpoint as JSON, atomically (temp file + rename), so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func (c *Checkpoint) Save(path string) error {
+	blob, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint file written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(blob, &c); err != nil {
+		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
+	}
+	if c.Version != checkpointVersion {
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
+			path, c.Version, checkpointVersion)
+	}
+	return &c, nil
+}
+
+// Interrupted is returned by Study when its context is cancelled
+// mid-campaign. It carries the checkpoint of the completed work; resume by
+// passing it (or a reload of Path) via StudyOptions.Resume. It unwraps to
+// the context's error, so errors.Is(err, context.Canceled) works.
+type Interrupted struct {
+	Checkpoint *Checkpoint
+	// Path is the file the checkpoint was saved to ("" if no
+	// CheckpointPath was configured).
+	Path  string
+	Cause error
+}
+
+func (e *Interrupted) Error() string {
+	where := "in memory only"
+	if e.Path != "" {
+		where = "saved to " + e.Path
+	}
+	return fmt.Sprintf("campaign: study interrupted after %d experiments (checkpoint %s): %v",
+		e.Checkpoint.Experiments, where, e.Cause)
+}
+
+func (e *Interrupted) Unwrap() error { return e.Cause }

@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/faultmodel"
+	"fidelity/internal/model"
+	"fidelity/internal/numerics"
+	"fidelity/internal/telemetry"
+)
+
+// engineWorkload builds the cheapest workload for engine-behavior tests.
+func engineWorkload(t *testing.T) *model.Workload {
+	t.Helper()
+	w, err := model.Build("mobilenet", numerics.FP16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// requireEqualResults asserts two study results carry identical tallies and
+// FIT rates — the determinism contract of the campaign engine.
+func requireEqualResults(t *testing.T, label string, a, b *StudyResult) {
+	t.Helper()
+	if a.Experiments != b.Experiments {
+		t.Errorf("%s: experiments %d != %d", label, a.Experiments, b.Experiments)
+	}
+	for _, id := range faultmodel.AllIDs() {
+		pa, pb := a.Masked[id], b.Masked[id]
+		if pa.Successes != pb.Successes || pa.Trials != pb.Trials {
+			t.Errorf("%s: %v tally %d/%d != %d/%d",
+				label, id, pa.Successes, pa.Trials, pb.Successes, pb.Trials)
+		}
+	}
+	if a.Perturb != b.Perturb {
+		t.Errorf("%s: perturbation stats %+v != %+v", label, a.Perturb, b.Perturb)
+	}
+	if a.FIT.Total != b.FIT.Total {
+		t.Errorf("%s: FIT %v != %v", label, a.FIT.Total, b.FIT.Total)
+	}
+	if a.FITProtected.Total != b.FITProtected.Total {
+		t.Errorf("%s: protected FIT %v != %v", label, a.FITProtected.Total, b.FITProtected.Total)
+	}
+}
+
+// TestStudyWorkerDeterminism is the engine's central invariant: experiments
+// are partitioned onto logical shards, not workers, so the worker count only
+// changes wall-clock time — never the tallies. Run with -race to also catch
+// data races between the shard workers.
+func TestStudyWorkerDeterminism(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 120, Inputs: 2, Tolerance: 0.1, Seed: 9}
+
+	run := func(workers int) *StudyResult {
+		opts := base
+		opts.Workers = workers
+		res, err := Study(context.Background(), cfg, w, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, workers := range []int{4, 16} {
+		requireEqualResults(t, "workers=1 vs workers=4+", serial, run(workers))
+	}
+}
+
+// TestStudyInterruptResume interrupts a campaign mid-flight, then resumes it —
+// from the in-memory checkpoint, from the auto-saved checkpoint file, and from
+// an explicit Save/LoadCheckpoint round trip — and requires every resumed run
+// to reproduce the uninterrupted StudyResult exactly.
+func TestStudyInterruptResume(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 240, Inputs: 2, Tolerance: 0.1, Seed: 11, Workers: 4}
+
+	baseline, err := Study(context.Background(), cfg, w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt once the campaign is demonstrably mid-flight.
+	ckptPath := filepath.Join(t.TempDir(), "study.checkpoint.json")
+	tel := telemetry.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stop := make(chan struct{})
+	go func() {
+		defer cancel()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if tel.Experiments() >= 200 {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	opts := base
+	opts.Telemetry = tel
+	opts.CheckpointPath = ckptPath
+	_, err = Study(ctx, cfg, w, opts)
+	close(stop)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("interrupted study returned %v, want *Interrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Interrupted must unwrap to context.Canceled, got %v", err)
+	}
+	cp := intr.Checkpoint
+	if cp.Experiments <= 0 || cp.Experiments >= baseline.Experiments {
+		t.Fatalf("checkpoint holds %d experiments, want mid-campaign (0, %d)",
+			cp.Experiments, baseline.Experiments)
+	}
+	if intr.Path != ckptPath {
+		t.Errorf("Interrupted.Path = %q, want %q", intr.Path, ckptPath)
+	}
+
+	// Resume from the in-memory checkpoint.
+	resume := base
+	resume.Resume = cp
+	res, err := Study(context.Background(), cfg, w, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "in-memory resume", baseline, res)
+
+	// Resume from the checkpoint file Study saved on cancellation.
+	saved, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume.Resume = saved
+	res, err = Study(context.Background(), cfg, w, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "auto-saved file resume", baseline, res)
+
+	// Explicit Save → LoadCheckpoint round trip.
+	rtPath := filepath.Join(t.TempDir(), "roundtrip.json")
+	if err := cp.Save(rtPath); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := LoadCheckpoint(rtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume.Resume = rt
+	res, err = Study(context.Background(), cfg, w, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "save/load round trip resume", baseline, res)
+}
+
+// TestStudyCancelBeforeStart: a context cancelled before the first experiment
+// yields an empty (but well-formed, resumable) checkpoint.
+func TestStudyCancelBeforeStart(t *testing.T) {
+	w := engineWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := StudyOptions{Samples: 40, Inputs: 2, Tolerance: 0.1, Seed: 3}
+	_, err := Study(ctx, accel.NVDLASmall(), w, base)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("got %v, want *Interrupted", err)
+	}
+	if intr.Checkpoint.Experiments != 0 {
+		t.Errorf("pre-cancelled study ran %d experiments", intr.Checkpoint.Experiments)
+	}
+	resume := base
+	resume.Resume = intr.Checkpoint
+	res, err := Study(context.Background(), accel.NVDLASmall(), w, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Study(context.Background(), accel.NVDLASmall(), w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "empty-checkpoint resume vs fresh", fresh, res)
+}
+
+// TestStudyMismatchedResumeIgnored: a checkpoint from a different campaign
+// must not contaminate the study — it is ignored and the run starts fresh.
+func TestStudyMismatchedResumeIgnored(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 40, Inputs: 2, Tolerance: 0.1, Seed: 3}
+
+	fresh, err := Study(context.Background(), cfg, w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate a mid-flight checkpoint of a *different* campaign (other
+	// seed and sample count) by cancelling it immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	other := base
+	other.Seed, other.Samples = 99, 80
+	_, err = Study(ctx, cfg, w, other)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("got %v, want *Interrupted", err)
+	}
+
+	resume := base
+	resume.Resume = intr.Checkpoint
+	res, err := Study(context.Background(), cfg, w, resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualResults(t, "mismatched checkpoint ignored", fresh, res)
+}
+
+// TestStudyTelemetryCounts: the collector's experiment counter and per-model
+// outcome tallies must agree with the StudyResult.
+func TestStudyTelemetryCounts(t *testing.T) {
+	w := engineWorkload(t)
+	tel := telemetry.New()
+	opts := StudyOptions{Samples: 40, Inputs: 2, Tolerance: 0.1, Seed: 5, Workers: 4, Telemetry: tel}
+	res, err := Study(context.Background(), accel.NVDLASmall(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Experiments(); got != int64(res.Experiments) {
+		t.Errorf("telemetry experiments = %d, result = %d", got, res.Experiments)
+	}
+	snap := tel.Snapshot()
+	if len(snap.Models) != len(faultmodel.AllIDs()) {
+		t.Errorf("telemetry models = %d, want %d", len(snap.Models), len(faultmodel.AllIDs()))
+	}
+	var phases []string
+	for _, p := range snap.Phases {
+		phases = append(phases, p.Name)
+	}
+	for _, want := range []string{"trace", "inject", "fit"} {
+		found := false
+		for _, p := range phases {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("phase %q missing from telemetry (have %v)", want, phases)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"fidelity/internal/accel"
 	"fidelity/internal/activeness"
@@ -12,7 +15,14 @@ import (
 	"fidelity/internal/inject"
 	"fidelity/internal/model"
 	"fidelity/internal/nn"
+	"fidelity/internal/telemetry"
 )
+
+// DefaultShards is the number of logical sampling shards a study splits its
+// experiment space into when StudyOptions.Shards is zero. Shards — not
+// workers — own the deterministic random streams, so results depend only on
+// (Seed, Shards), never on the worker count.
+const DefaultShards = 16
 
 // StudyOptions parameterizes a Sec. V resilience study for one workload.
 type StudyOptions struct {
@@ -29,15 +39,46 @@ type StudyOptions struct {
 	Seed int64
 	// RawFITPerMB is the raw FF FIT rate; 0 selects the paper's 600/MB.
 	RawFITPerMB float64
-	// Workers runs the injection experiments on this many goroutines with
-	// independent deterministic samplers (0/1 = sequential). Workload
-	// networks are read-only during injection, so sharding is safe.
+	// Workers runs the injection experiments on this many goroutines
+	// (0/1 = sequential). Workload networks are read-only during injection,
+	// so sharding is safe. The worker count affects only wall-clock time:
+	// experiments are partitioned into Shards deterministic streams, so any
+	// Workers value produces identical tallies for a fixed Seed.
 	Workers int
+	// Shards is the number of independent deterministic sampling streams
+	// (0 = DefaultShards). It is part of a study's identity: changing it
+	// changes which experiments are drawn, like changing Seed.
+	Shards int
 	// PerLayer estimates Prob_SWmask(cat, r) separately for every layer r
 	// (the exact Eq. 2 form) instead of one network-wide aggregate. The
 	// experiment count multiplies by the number of layer executions.
 	PerLayer bool
+	// CheckpointPath, when non-empty, is where the engine saves a resumable
+	// JSON checkpoint: always on cancellation, and periodically every
+	// CheckpointInterval while running (0 disables periodic saves).
+	CheckpointPath     string
+	CheckpointInterval time.Duration
+	// Resume continues a previously interrupted study. A checkpoint whose
+	// identity (workload, precision, tolerance, samples, inputs, seed,
+	// shards, per-layer) does not match this study is ignored and the study
+	// runs from scratch — so one checkpoint file can safely be offered to
+	// every cell of a multi-workload figure.
+	Resume *Checkpoint
+	// Telemetry, when non-nil, receives per-experiment outcome counts and
+	// per-phase wall-clock timings.
+	Telemetry *telemetry.Collector
 }
+
+// shards returns the resolved shard count.
+func (o StudyOptions) shards() int {
+	if o.Shards > 0 {
+		return o.Shards
+	}
+	return DefaultShards
+}
+
+// shardSeed derives the independent stream seed of one logical shard.
+func shardSeed(seed int64, shard int) int64 { return seed*1_000_003 + int64(shard) }
 
 // PerturbationStats is the Key Result 5 measurement over experiments that
 // corrupt exactly one output neuron: application-error probability split by
@@ -62,7 +103,8 @@ type StudyResult struct {
 	FIT, FITProtected *fit.Result
 	// Perturb is the Key Result 5 statistic.
 	Perturb PerturbationStats
-	// Experiments counts all injection runs performed.
+	// Experiments counts all injection runs performed (including any
+	// restored from a resumed checkpoint).
 	Experiments int
 	// Layers retains the Eq. 2 per-layer inputs so FIT can be recomputed
 	// under perturbed assumptions (sensitivity analysis) without re-running
@@ -100,15 +142,289 @@ func specsFromTrace(w *model.Workload, execs []nn.SiteExecution) ([]accel.LayerS
 	return specs, nil
 }
 
+// shardState is the runtime state of one logical shard. The running worker
+// owns the tally fields exclusively; concurrent observers (the periodic
+// checkpoint saver) read only the published snapshot under mu.
+type shardState struct {
+	index        int
+	samplerState faultmodel.SamplerState
+
+	// Owned by the worker executing the shard.
+	sampler     *faultmodel.Sampler
+	masked      map[faultmodel.ID]*Proportion
+	perLayer    []map[faultmodel.ID]*Proportion
+	perturb     PerturbationStats
+	experiments int
+	cursor      Cursor
+	done        bool
+	err         error
+
+	mu        sync.Mutex
+	published ShardCheckpoint
+}
+
+func newShardState(index int, seed int64) *shardState {
+	sh := &shardState{
+		index:        index,
+		samplerState: faultmodel.SamplerState{Seed: seed},
+		masked:       map[faultmodel.ID]*Proportion{},
+	}
+	for _, id := range faultmodel.AllIDs() {
+		sh.masked[id] = &Proportion{}
+	}
+	sh.publish(Cursor{})
+	return sh
+}
+
+// restore loads a shard checkpoint into the live state. The sampler itself
+// is rebuilt lazily when the shard runs.
+func (sh *shardState) restore(sc ShardCheckpoint) {
+	sh.samplerState = sc.Sampler
+	sh.cursor = sc.Cursor
+	sh.done = sc.Done
+	sh.experiments = sc.Experiments
+	sh.perturb = sc.Perturb
+	for id, p := range sc.Masked {
+		cp := p
+		sh.masked[id] = &cp
+	}
+	if sc.PerLayer != nil {
+		sh.perLayer = make([]map[faultmodel.ID]*Proportion, len(sc.PerLayer))
+		for e, m := range sc.PerLayer {
+			sh.perLayer[e] = map[faultmodel.ID]*Proportion{}
+			for _, id := range faultmodel.AllIDs() {
+				cp := m[id]
+				sh.perLayer[e][id] = &cp
+			}
+		}
+	}
+	sh.publish(sh.cursor)
+}
+
+// publish snapshots the live state as a consistent ShardCheckpoint whose
+// cursor names the next experiment to run. Called by the owning worker at
+// experiment boundaries only, so tallies, sampler position and cursor always
+// agree.
+func (sh *shardState) publish(cur Cursor) {
+	sc := ShardCheckpoint{
+		Index:       sh.index,
+		Done:        sh.done,
+		Sampler:     sh.samplerState,
+		Cursor:      cur,
+		Experiments: sh.experiments,
+		Perturb:     sh.perturb,
+		Masked:      make(map[faultmodel.ID]Proportion, len(sh.masked)),
+	}
+	if sh.sampler != nil {
+		sc.Sampler = sh.sampler.State()
+	}
+	for id, p := range sh.masked {
+		sc.Masked[id] = *p
+	}
+	if sh.perLayer != nil {
+		sc.PerLayer = make([]map[faultmodel.ID]Proportion, len(sh.perLayer))
+		for e, m := range sh.perLayer {
+			sc.PerLayer[e] = make(map[faultmodel.ID]Proportion, len(m))
+			for id, p := range m {
+				sc.PerLayer[e][id] = *p
+			}
+		}
+	}
+	sh.mu.Lock()
+	sh.published = sc
+	sh.mu.Unlock()
+}
+
+// snapshot returns the last published consistent state.
+func (sh *shardState) snapshot() ShardCheckpoint {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.published
+}
+
+// publishEvery is the experiment cadence at which a running shard refreshes
+// its published snapshot for the periodic checkpoint saver.
+const publishEvery = 64
+
+// run executes the shard's slice of the experiment space from its cursor.
+// On context cancellation it publishes a consistent snapshot and returns the
+// context's error; any other error is a campaign failure.
+func (sh *shardState) run(ctx context.Context, w *model.Workload, models []faultmodel.Model, opts StudyOptions) error {
+	shards := opts.shards()
+	tel := opts.Telemetry
+	sampler, err := faultmodel.NewSamplerAt(models, sh.samplerState)
+	if err != nil {
+		return err
+	}
+	sh.sampler = sampler
+	inj := inject.New(w, sampler)
+	ids := faultmodel.AllIDs()
+	cur := sh.cursor
+	sincePublish := 0
+
+	// checkpointable pauses at an experiment boundary: ctx is checked and the
+	// published snapshot refreshed before the cursor's experiment runs.
+	checkpointable := func(cur Cursor) error {
+		if err := ctx.Err(); err != nil {
+			sh.cursor = cur
+			sh.publish(cur)
+			return err
+		}
+		if sincePublish++; sincePublish >= publishEvery {
+			sincePublish = 0
+			sh.publish(cur)
+		}
+		return nil
+	}
+	record := func(layer int, id faultmodel.ID, r inject.Result) {
+		sh.experiments++
+		masked := r.Outcome == inject.Masked
+		sh.masked[id].Add(masked)
+		if layer >= 0 && sh.perLayer != nil {
+			sh.perLayer[layer][id].Add(masked)
+		}
+		if r.FaultyNeurons == 1 {
+			failed := !masked
+			if r.MaxPerturbation <= 100 {
+				sh.perturb.SmallFail.Add(failed)
+			} else {
+				sh.perturb.LargeFail.Add(failed)
+			}
+		}
+		if tel != nil {
+			tel.RecordExperiment(id.String(), r.Outcome.String())
+		}
+	}
+
+	for ; cur.Input < opts.Inputs; cur.Input, cur.Model = cur.Input+1, 0 {
+		x, err := dataset.Sample(w.Dataset, cur.Input)
+		if err != nil {
+			return err
+		}
+		if err := inj.Prepare(x); err != nil {
+			return err
+		}
+		// This shard's share of the per-(input, model) sample count.
+		per := opts.Samples / opts.Inputs
+		if cur.Input < opts.Samples%opts.Inputs {
+			per++
+		}
+		mine := per / shards
+		if sh.index < per%shards {
+			mine++
+		}
+		if opts.PerLayer && sh.perLayer == nil {
+			sh.perLayer = make([]map[faultmodel.ID]*Proportion, inj.Executions())
+			for e := range sh.perLayer {
+				sh.perLayer[e] = map[faultmodel.ID]*Proportion{}
+				for _, id := range faultmodel.AllIDs() {
+					sh.perLayer[e][id] = &Proportion{}
+				}
+			}
+		}
+		for ; cur.Model < len(ids); cur.Model, cur.Exec, cur.Sample = cur.Model+1, 0, 0 {
+			id := ids[cur.Model]
+			if id == faultmodel.GlobalControl {
+				// Modeled as always failing: Prob_SWmask = 0.
+				for ; cur.Sample < mine; cur.Sample++ {
+					if err := checkpointable(cur); err != nil {
+						return err
+					}
+					sh.experiments++
+					sh.masked[id].Add(false)
+					if tel != nil {
+						tel.RecordExperiment(id.String(), inject.SystemAnomaly.String())
+					}
+				}
+				continue
+			}
+			if opts.PerLayer {
+				for ; cur.Exec < inj.Executions(); cur.Exec, cur.Sample = cur.Exec+1, 0 {
+					for ; cur.Sample < mine; cur.Sample++ {
+						if err := checkpointable(cur); err != nil {
+							return err
+						}
+						r, err := inj.RunAt(ctx, cur.Exec, id, opts.Tolerance)
+						if err != nil {
+							return err
+						}
+						record(cur.Exec, id, r)
+					}
+				}
+				continue
+			}
+			for ; cur.Sample < mine; cur.Sample++ {
+				if err := checkpointable(cur); err != nil {
+					return err
+				}
+				r, err := inj.Run(ctx, id, opts.Tolerance)
+				if err != nil {
+					return err
+				}
+				record(-1, id, r)
+			}
+		}
+	}
+	sh.done = true
+	sh.cursor = Cursor{Input: opts.Inputs}
+	sh.publish(sh.cursor)
+	return nil
+}
+
+// assembleCheckpoint collects every shard's last published snapshot into one
+// resumable campaign checkpoint.
+func assembleCheckpoint(w *model.Workload, opts StudyOptions, states []*shardState) *Checkpoint {
+	cp := &Checkpoint{
+		Version:   checkpointVersion,
+		Workload:  w.Net.Name(),
+		Precision: w.Net.Precision.String(),
+		Tolerance: opts.Tolerance,
+		Samples:   opts.Samples,
+		Inputs:    opts.Inputs,
+		Seed:      opts.Seed,
+		Shards:    opts.shards(),
+		PerLayer:  opts.PerLayer,
+	}
+	for _, sh := range states {
+		sc := sh.snapshot()
+		cp.Experiments += sc.Experiments
+		cp.Shard = append(cp.Shard, sc)
+	}
+	return cp
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func phaseStart(tel *telemetry.Collector, name string) {
+	if tel != nil {
+		tel.StartPhase(name)
+	}
+}
+
+func phaseEnd(tel *telemetry.Collector, name string) {
+	if tel != nil {
+		tel.EndPhase(name)
+	}
+}
+
 // Study runs the fault-injection study for one workload on design cfg and
 // computes its Accelerator_FIT_rate.
-func Study(cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResult, error) {
+//
+// The campaign is cancellable, resumable and observable: cancelling ctx
+// stops every worker at an experiment boundary and returns *Interrupted
+// carrying a checkpoint (also saved to opts.CheckpointPath when set) from
+// which opts.Resume continues the study to the identical StudyResult an
+// uninterrupted run would have produced.
+func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResult, error) {
 	if opts.Samples <= 0 || opts.Inputs <= 0 {
 		return nil, fmt.Errorf("campaign: Samples and Inputs must be positive")
 	}
 	if opts.RawFITPerMB == 0 {
 		opts.RawFITPerMB = fit.RawFFFITPerMB
 	}
+	tel := opts.Telemetry
 	models, err := faultmodel.Derive(cfg)
 	if err != nil {
 		return nil, err
@@ -124,119 +440,116 @@ func Study(cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResul
 	}
 
 	// Trace once for the Eq. 2 layer specs.
+	phaseStart(tel, "trace")
 	x0, err := dataset.Sample(w.Dataset, 0)
 	if err != nil {
+		phaseEnd(tel, "trace")
 		return nil, err
 	}
 	_, execs := w.Net.Trace(x0)
+	phaseEnd(tel, "trace")
 
+	// Build the logical shards, restoring from a matching checkpoint.
+	shards := opts.shards()
+	states := make([]*shardState, shards)
+	resume := opts.Resume
+	if resume != nil && !resume.Matches(w, opts, shards) {
+		resume = nil
+	}
+	for s := range states {
+		states[s] = newShardState(s, shardSeed(opts.Seed, s))
+		if resume != nil {
+			states[s].restore(resume.Shard[s])
+		}
+	}
+
+	// Periodic checkpoint saver: assembles the shards' published snapshots.
+	stopSaver := func() {}
+	if opts.CheckpointPath != "" && opts.CheckpointInterval > 0 {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			t := time.NewTicker(opts.CheckpointInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					// Best-effort: a failed periodic save must not kill the
+					// campaign; the on-cancel save reports errors.
+					_ = assembleCheckpoint(w, opts, states).Save(opts.CheckpointPath)
+				case <-stop:
+					return
+				}
+			}
+		}()
+		stopSaver = func() { close(stop); <-done }
+	}
+
+	// Worker pool: workers pull whole logical shards, so the partition of
+	// experiments onto random streams never depends on the worker count.
 	workers := opts.Workers
 	if workers <= 1 {
 		workers = 1
 	}
-	type shard struct {
-		masked      map[faultmodel.ID]*Proportion
-		perLayer    []map[faultmodel.ID]*Proportion
-		perturb     PerturbationStats
-		experiments int
-		err         error
+	if workers > shards {
+		workers = shards
 	}
-	shards := make([]shard, workers)
+	phaseStart(tel, "inject")
+	jobs := make(chan *shardState)
 	var wg sync.WaitGroup
-	for wid := 0; wid < workers; wid++ {
+	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(wid int) {
+		go func() {
 			defer wg.Done()
-			sh := &shards[wid]
-			sh.masked = map[faultmodel.ID]*Proportion{}
-			for _, id := range faultmodel.AllIDs() {
-				sh.masked[id] = &Proportion{}
+			for sh := range jobs {
+				if sh.done {
+					continue
+				}
+				sh.err = sh.run(ctx, w, models, opts)
 			}
-			sampler, err := faultmodel.NewSampler(models, opts.Seed*1_000_003+int64(wid))
-			if err != nil {
-				sh.err = err
-				return
-			}
-			inj := inject.New(w, sampler)
-			// This worker's share of the per-(input, model) sample count.
-			for i := 0; i < opts.Inputs; i++ {
-				x, err := dataset.Sample(w.Dataset, i)
-				if err != nil {
-					sh.err = err
-					return
-				}
-				if err := inj.Prepare(x); err != nil {
-					sh.err = err
-					return
-				}
-				per := opts.Samples / opts.Inputs
-				if i < opts.Samples%opts.Inputs {
-					per++
-				}
-				mine := per / workers
-				if wid < per%workers {
-					mine++
-				}
-				if opts.PerLayer && sh.perLayer == nil {
-					sh.perLayer = make([]map[faultmodel.ID]*Proportion, inj.Executions())
-					for e := range sh.perLayer {
-						sh.perLayer[e] = map[faultmodel.ID]*Proportion{}
-						for _, id := range faultmodel.AllIDs() {
-							sh.perLayer[e][id] = &Proportion{}
-						}
-					}
-				}
-				record := func(layer int, id faultmodel.ID, r inject.Result) {
-					sh.experiments++
-					masked := r.Outcome == inject.Masked
-					sh.masked[id].Add(masked)
-					if layer >= 0 && sh.perLayer != nil {
-						sh.perLayer[layer][id].Add(masked)
-					}
-					if r.FaultyNeurons == 1 {
-						failed := !masked
-						if r.MaxPerturbation <= 100 {
-							sh.perturb.SmallFail.Add(failed)
-						} else {
-							sh.perturb.LargeFail.Add(failed)
-						}
-					}
-				}
-				for _, id := range faultmodel.AllIDs() {
-					if id == faultmodel.GlobalControl {
-						// Modeled as always failing: Prob_SWmask = 0.
-						for s := 0; s < mine; s++ {
-							sh.masked[id].Add(false)
-						}
-						sh.experiments += mine
-						continue
-					}
-					if opts.PerLayer {
-						for e := 0; e < inj.Executions(); e++ {
-							for s := 0; s < mine; s++ {
-								r, err := inj.RunAt(e, id, opts.Tolerance)
-								if err != nil {
-									sh.err = err
-									return
-								}
-								record(e, id, r)
-							}
-						}
-						continue
-					}
-					for s := 0; s < mine; s++ {
-						r, err := inj.Run(id, opts.Tolerance)
-						if err != nil {
-							sh.err = err
-							return
-						}
-						record(-1, id, r)
-					}
-				}
-			}
-		}(wid)
+		}()
 	}
+	// Stop feeding on cancellation: shards still queued keep their initial
+	// (resumable) published state.
+feed:
+	for _, sh := range states {
+		select {
+		case jobs <- sh:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
+	phaseEnd(tel, "inject")
+	stopSaver()
+
+	interrupted := false
+	for _, sh := range states {
+		switch {
+		case sh.err == nil && !sh.done:
+			interrupted = true // never started before cancellation
+		case sh.err != nil && isCancellation(sh.err):
+			interrupted = true
+		case sh.err != nil:
+			return nil, sh.err
+		}
+	}
+	if interrupted {
+		cp := assembleCheckpoint(w, opts, states)
+		path := ""
+		if opts.CheckpointPath != "" {
+			if err := cp.Save(opts.CheckpointPath); err != nil {
+				return nil, fmt.Errorf("campaign: interrupted, and saving the checkpoint failed: %w", err)
+			}
+			path = opts.CheckpointPath
+		}
+		return nil, &Interrupted{Checkpoint: cp, Path: path, Cause: context.Cause(ctx)}
+	}
+
+	// Aggregate the shard tallies. Integer sums commute, so the aggregate is
+	// independent of both worker scheduling and shard order.
 	var perLayer []map[faultmodel.ID]*Proportion
 	if opts.PerLayer {
 		perLayer = make([]map[faultmodel.ID]*Proportion, len(execs))
@@ -247,11 +560,7 @@ func Study(cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResul
 			}
 		}
 	}
-	for i := range shards {
-		sh := &shards[i]
-		if sh.err != nil {
-			return nil, sh.err
-		}
+	for _, sh := range states {
 		for id, p := range sh.masked {
 			res.Masked[id].Successes += p.Successes
 			res.Masked[id].Trials += p.Trials
@@ -271,6 +580,8 @@ func Study(cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResul
 
 	// Assemble Eq. 2 inputs: per-layer activeness and exec time from the
 	// performance model, masking probabilities from the campaign aggregate.
+	phaseStart(tel, "fit")
+	defer phaseEnd(tel, "fit")
 	specs, err := specsFromTrace(w, execs)
 	if err != nil {
 		return nil, err
@@ -321,7 +632,7 @@ func Study(cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResul
 // (clamped to [0, 1]). This is the paper's sensitivity-analysis mode for
 // early design phases, where the microarchitectural inputs are estimates:
 // the bounds bracket the FIT rate without re-running any injections.
-func SensitivityBounds(cfg *accel.Config, res *StudyResult, ffDelta, actDelta float64) (lo, hi float64, err error) {
+func SensitivityBounds(ctx context.Context, cfg *accel.Config, res *StudyResult, ffDelta, actDelta float64) (lo, hi float64, err error) {
 	if res.Layers == nil {
 		return 0, 0, fmt.Errorf("campaign: study result carries no layer stats")
 	}
@@ -329,6 +640,9 @@ func SensitivityBounds(cfg *accel.Config, res *StudyResult, ffDelta, actDelta fl
 		return 0, 0, fmt.Errorf("campaign: deltas out of range (ff=%v, act=%v)", ffDelta, actDelta)
 	}
 	eval := func(ffScale, actScale float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		c := *cfg
 		c.NumFFs = int(float64(cfg.NumFFs) * ffScale)
 		if c.NumFFs < 1 {

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"fidelity/internal/accel"
@@ -15,7 +16,7 @@ func runStudy(t *testing.T, net string, prec numerics.Precision, samples int, to
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Study(accel.NVDLASmall(), w, StudyOptions{
+	res, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{
 		Samples: samples, Inputs: 2, Tolerance: tol, Seed: 1,
 	})
 	if err != nil {
@@ -26,7 +27,7 @@ func runStudy(t *testing.T, net string, prec numerics.Precision, samples int, to
 
 func TestStudyValidation(t *testing.T) {
 	w, _ := model.Build("resnet", numerics.FP16, 1)
-	if _, err := Study(accel.NVDLASmall(), w, StudyOptions{Samples: 0, Inputs: 1}); err == nil {
+	if _, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{Samples: 0, Inputs: 1}); err == nil {
 		t.Error("zero samples should fail")
 	}
 }
@@ -98,24 +99,24 @@ func TestStudyKeyResult3Shape(t *testing.T) {
 func TestSensitivityBounds(t *testing.T) {
 	cfg := accel.NVDLASmall()
 	res := runStudy(t, "resnet", numerics.FP16, 20, 0.1)
-	lo, hi, err := SensitivityBounds(cfg, res, 0.3, 0.2)
+	lo, hi, err := SensitivityBounds(context.Background(), cfg, res, 0.3, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !(lo <= res.FIT.Total && res.FIT.Total <= hi) {
 		t.Errorf("bounds [%v, %v] do not bracket %v", lo, hi, res.FIT.Total)
 	}
-	lo2, hi2, err := SensitivityBounds(cfg, res, 0.05, 0.05)
+	lo2, hi2, err := SensitivityBounds(context.Background(), cfg, res, 0.05, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hi2-lo2 >= hi-lo {
 		t.Errorf("smaller deltas should tighten bounds: [%v,%v] vs [%v,%v]", lo2, hi2, lo, hi)
 	}
-	if _, _, err := SensitivityBounds(cfg, res, -1, 0); err == nil {
+	if _, _, err := SensitivityBounds(context.Background(), cfg, res, -1, 0); err == nil {
 		t.Error("negative delta should fail")
 	}
-	if _, _, err := SensitivityBounds(cfg, &StudyResult{}, 0.1, 0.1); err == nil {
+	if _, _, err := SensitivityBounds(context.Background(), cfg, &StudyResult{}, 0.1, 0.1); err == nil {
 		t.Error("result without layers should fail")
 	}
 }
@@ -134,13 +135,13 @@ func TestStudyParallelWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := Study(accel.NVDLASmall(), w, StudyOptions{
+	seq, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{
 		Samples: 24, Inputs: 2, Tolerance: 0.1, Seed: 9, Workers: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Study(accel.NVDLASmall(), w, StudyOptions{
+	par, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{
 		Samples: 24, Inputs: 2, Tolerance: 0.1, Seed: 9, Workers: 4,
 	})
 	if err != nil {
@@ -166,7 +167,7 @@ func TestStudyPerLayer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Study(accel.NVDLASmall(), w, StudyOptions{
+	res, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{
 		Samples: 6, Inputs: 1, Tolerance: 0.1, Seed: 3, PerLayer: true, Workers: 2,
 	})
 	if err != nil {
@@ -198,13 +199,13 @@ func TestRawRateScaleInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Study(accel.NVDLASmall(), w, StudyOptions{
+	base, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{
 		Samples: 20, Inputs: 1, Tolerance: 0.1, Seed: 13, RawFITPerMB: 600,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	scaled, err := Study(accel.NVDLASmall(), w, StudyOptions{
+	scaled, err := Study(context.Background(), accel.NVDLASmall(), w, StudyOptions{
 		Samples: 20, Inputs: 1, Tolerance: 0.1, Seed: 13, RawFITPerMB: 6000,
 	})
 	if err != nil {

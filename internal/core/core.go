@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"fidelity/internal/accel"
@@ -37,13 +38,14 @@ func New(cfg *accel.Config) (*Framework, error) {
 
 // Analyze runs the full Fig 3 flow for one workload: build the network at
 // the requested precision, inject faults per software fault model, and
-// compute the FIT rate.
-func (f *Framework) Analyze(netName string, prec numerics.Precision, opts campaign.StudyOptions) (*campaign.StudyResult, error) {
+// compute the FIT rate. Cancelling ctx interrupts the campaign cleanly; see
+// campaign.Study for checkpoint/resume semantics.
+func (f *Framework) Analyze(ctx context.Context, netName string, prec numerics.Precision, opts campaign.StudyOptions) (*campaign.StudyResult, error) {
 	w, err := model.Build(netName, prec, 42)
 	if err != nil {
 		return nil, err
 	}
-	return campaign.Study(f.Config, w, opts)
+	return campaign.Study(ctx, f.Config, w, opts)
 }
 
 // Validate runs the Sec. IV validation campaign on the Table III workloads.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestFrameworkAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := fw.Analyze("mobilenet", numerics.FP16, campaign.StudyOptions{
+	res, err := fw.Analyze(context.Background(), "mobilenet", numerics.FP16, campaign.StudyOptions{
 		Samples: 14, Inputs: 2, Tolerance: 0.1, Seed: 3,
 	})
 	if err != nil {
@@ -32,7 +33,7 @@ func TestFrameworkAnalyze(t *testing.T) {
 	if res.FIT.Total <= 0 {
 		t.Error("FIT must be positive")
 	}
-	if _, err := fw.Analyze("vgg", numerics.FP16, campaign.StudyOptions{Samples: 1, Inputs: 1}); err == nil {
+	if _, err := fw.Analyze(context.Background(), "vgg", numerics.FP16, campaign.StudyOptions{Samples: 1, Inputs: 1}); err == nil {
 		t.Error("unknown network should fail")
 	}
 }
@@ -80,7 +81,7 @@ func TestFrameworkBaselineAndSpeedup(t *testing.T) {
 
 func TestFITChart(t *testing.T) {
 	fw, _ := New(accel.NVDLASmall())
-	res, err := fw.Analyze("rnn", numerics.FP16, campaign.StudyOptions{
+	res, err := fw.Analyze(context.Background(), "rnn", numerics.FP16, campaign.StudyOptions{
 		Samples: 7, Inputs: 1, Tolerance: 0.1, Seed: 2,
 	})
 	if err != nil {
@@ -112,7 +113,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestMaskingTable(t *testing.T) {
 	fw, _ := New(accel.NVDLASmall())
-	res, err := fw.Analyze("rnn", numerics.FP16, campaign.StudyOptions{
+	res, err := fw.Analyze(context.Background(), "rnn", numerics.FP16, campaign.StudyOptions{
 		Samples: 7, Inputs: 1, Tolerance: 0.1, Seed: 4,
 	})
 	if err != nil {

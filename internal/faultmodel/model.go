@@ -65,6 +65,30 @@ func (id ID) String() string {
 	}
 }
 
+// MarshalText encodes the ID as its short name, so maps keyed by ID
+// serialize to readable JSON in campaign checkpoints and manifests.
+func (id ID) MarshalText() ([]byte, error) { return []byte(id.String()), nil }
+
+// UnmarshalText parses a short model name produced by MarshalText.
+func (id *ID) UnmarshalText(b []byte) error {
+	parsed, err := ParseID(string(b))
+	if err != nil {
+		return err
+	}
+	*id = parsed
+	return nil
+}
+
+// ParseID resolves a short model name (the String form) back to its ID.
+func ParseID(s string) (ID, error) {
+	for _, id := range AllIDs() {
+		if id.String() == s {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("faultmodel: unknown model name %q", s)
+}
+
 // AllIDs lists every model in Table II row order.
 func AllIDs() []ID {
 	return []ID{

@@ -1,0 +1,98 @@
+package faultmodel
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fidelity/internal/accel"
+)
+
+// A restored sampler must continue the exact random stream of the original:
+// this is the property that makes interrupted campaigns resumable without
+// replaying completed experiments.
+func TestSamplerStateRoundTrip(t *testing.T) {
+	models, err := Derive(accel.NVDLASmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := NewSampler(models, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a mixed sequence of draw kinds, as campaigns do.
+	for i := 0; i < 137; i++ {
+		switch i % 3 {
+		case 0:
+			orig.Rand().Intn(1000)
+		case 1:
+			orig.Rand().Float64()
+		default:
+			orig.Rand().Int63()
+		}
+	}
+	st := orig.State()
+	if st.Seed != 99 || st.Draws == 0 {
+		t.Fatalf("state = %+v", st)
+	}
+	restored, err := NewSamplerAt(models, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		a, b := orig.Rand().Int63(), restored.Rand().Int63()
+		if a != b {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+	if orig.State() != restored.State() {
+		t.Errorf("states diverged: %+v vs %+v", orig.State(), restored.State())
+	}
+}
+
+// The counting source must not perturb the stream relative to the seed:
+// two fresh samplers with the same seed are identical.
+func TestSamplerDeterminism(t *testing.T) {
+	models, err := Derive(accel.NVDLASmall())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewSampler(models, 7)
+	b, _ := NewSampler(models, 7)
+	for i := 0; i < 64; i++ {
+		if x, y := a.Rand().Uint64(), b.Rand().Uint64(); x != y {
+			t.Fatalf("draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestIDTextMarshal(t *testing.T) {
+	for _, id := range AllIDs() {
+		b, err := id.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ID
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != id {
+			t.Errorf("%v round-tripped to %v", id, back)
+		}
+	}
+	if _, err := ParseID("no-such-model"); err == nil {
+		t.Error("unknown name should fail")
+	}
+	// Maps keyed by ID must serialize with readable keys.
+	m := map[ID]int{CBUFMACInput: 3, GlobalControl: 1}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[ID]int
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[CBUFMACInput] != 3 || back[GlobalControl] != 1 {
+		t.Errorf("map round trip: %v", back)
+	}
+}

@@ -5,6 +5,7 @@
 package inject
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -142,21 +143,27 @@ func (in *Injector) Executions() int { return len(in.execs) }
 
 // Run executes one experiment: sample a fault of model id at a work-weighted
 // site execution, inject it, and classify the outcome under tolerance tol.
-func (in *Injector) Run(id faultmodel.ID, tol float64) (Result, error) {
-	return in.run(id, tol, -1)
+// A single experiment is the cancellation atom: ctx is checked once on
+// entry, before any sampler draw, so a cancelled Run never advances the
+// sampler's random stream (which is what keeps checkpoints exact).
+func (in *Injector) Run(ctx context.Context, id faultmodel.ID, tol float64) (Result, error) {
+	return in.run(ctx, id, tol, -1)
 }
 
 // RunAt executes one experiment pinned to the execIdx-th site execution —
 // used by per-layer campaigns that estimate Prob_SWmask(cat, r) separately
 // for every layer r.
-func (in *Injector) RunAt(execIdx int, id faultmodel.ID, tol float64) (Result, error) {
+func (in *Injector) RunAt(ctx context.Context, execIdx int, id faultmodel.ID, tol float64) (Result, error) {
 	if execIdx < 0 || execIdx >= len(in.execs) {
 		return Result{}, fmt.Errorf("inject: execution %d outside [0,%d)", execIdx, len(in.execs))
 	}
-	return in.run(id, tol, execIdx)
+	return in.run(ctx, id, tol, execIdx)
 }
 
-func (in *Injector) run(id faultmodel.ID, tol float64, execIdx int) (Result, error) {
+func (in *Injector) run(ctx context.Context, id faultmodel.ID, tol float64, execIdx int) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	if in.input == nil {
 		return Result{}, fmt.Errorf("inject: Prepare must be called first")
 	}

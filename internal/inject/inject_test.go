@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"context"
 	"testing"
 
 	"fidelity/internal/accel"
@@ -40,7 +41,7 @@ func TestRunRequiresPrepare(t *testing.T) {
 	models, _ := faultmodel.Derive(accel.NVDLASmall())
 	s, _ := faultmodel.NewSampler(models, 1)
 	inj := New(w, s)
-	if _, err := inj.Run(faultmodel.OutputPSum, 0.1); err == nil {
+	if _, err := inj.Run(context.Background(), faultmodel.OutputPSum, 0.1); err == nil {
 		t.Error("Run before Prepare should fail")
 	}
 }
@@ -48,7 +49,7 @@ func TestRunRequiresPrepare(t *testing.T) {
 func TestGlobalControlAlwaysFails(t *testing.T) {
 	inj := newInjector(t, "resnet", numerics.FP16, 1)
 	for i := 0; i < 5; i++ {
-		r, err := inj.Run(faultmodel.GlobalControl, 0.1)
+		r, err := inj.Run(context.Background(), faultmodel.GlobalControl, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func TestDatapathInjectionOutcomes(t *testing.T) {
 	inj := newInjector(t, "resnet", numerics.FP16, 2)
 	counts := map[Outcome]int{}
 	for i := 0; i < 60; i++ {
-		r, err := inj.Run(faultmodel.OutputPSum, 0.1)
+		r, err := inj.Run(context.Background(), faultmodel.OutputPSum, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestModelNeuronCounts(t *testing.T) {
 	inj := newInjector(t, "resnet", numerics.FP16, 3)
 	maxCBUF, maxBefore := 0, 0
 	for i := 0; i < 40; i++ {
-		r, err := inj.Run(faultmodel.CBUFMACInput, 0.1)
+		r, err := inj.Run(context.Background(), faultmodel.CBUFMACInput, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestModelNeuronCounts(t *testing.T) {
 		if r.FaultyNeurons > maxCBUF {
 			maxCBUF = r.FaultyNeurons
 		}
-		rb, err := inj.Run(faultmodel.BeforeCBUFWeight, 0.1)
+		rb, err := inj.Run(context.Background(), faultmodel.BeforeCBUFWeight, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestModelNeuronCounts(t *testing.T) {
 func TestLocalControlRF1(t *testing.T) {
 	inj := newInjector(t, "mobilenet", numerics.FP16, 4)
 	for i := 0; i < 20; i++ {
-		r, err := inj.Run(faultmodel.LocalControl, 0.1)
+		r, err := inj.Run(context.Background(), faultmodel.LocalControl, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestLocalControlRF1(t *testing.T) {
 func TestTransformerInjection(t *testing.T) {
 	inj := newInjector(t, "transformer", numerics.FP16, 5)
 	for _, id := range []faultmodel.ID{faultmodel.CBUFMACInput, faultmodel.CBUFMACWeight, faultmodel.OutputPSum} {
-		r, err := inj.Run(id, 0.1)
+		r, err := inj.Run(context.Background(), id, 0.1)
 		if err != nil {
 			t.Fatalf("%v: %v", id, err)
 		}
@@ -142,7 +143,7 @@ func TestTransformerInjection(t *testing.T) {
 func TestRNNInjectionVisits(t *testing.T) {
 	inj := newInjector(t, "rnn", numerics.FP16, 6)
 	for i := 0; i < 10; i++ {
-		if _, err := inj.Run(faultmodel.CBUFMACWeight, 0.1); err != nil {
+		if _, err := inj.Run(context.Background(), faultmodel.CBUFMACWeight, 0.1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -153,7 +154,7 @@ func TestToleranceMonotonic(t *testing.T) {
 	inj := newInjector(t, "yolo", numerics.FP16, 7)
 	masked10, masked20 := 0, 0
 	for i := 0; i < 40; i++ {
-		r, err := inj.Run(faultmodel.BeforeCBUFInput, 0.1)
+		r, err := inj.Run(context.Background(), faultmodel.BeforeCBUFInput, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,13 +189,13 @@ func TestRunAtPinsSite(t *testing.T) {
 	if n < 2 {
 		t.Fatalf("rnn should have many executions, got %d", n)
 	}
-	if _, err := inj.RunAt(-1, faultmodel.OutputPSum, 0.1); err == nil {
+	if _, err := inj.RunAt(context.Background(), -1, faultmodel.OutputPSum, 0.1); err == nil {
 		t.Error("negative index should fail")
 	}
-	if _, err := inj.RunAt(n, faultmodel.OutputPSum, 0.1); err == nil {
+	if _, err := inj.RunAt(context.Background(), n, faultmodel.OutputPSum, 0.1); err == nil {
 		t.Error("out-of-range index should fail")
 	}
-	r, err := inj.RunAt(0, faultmodel.OutputPSum, 0.1)
+	r, err := inj.RunAt(context.Background(), 0, faultmodel.OutputPSum, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestRunAtPinsSite(t *testing.T) {
 		t.Errorf("pinned site = %s", r.Site)
 	}
 	// The last execution is the classifier head.
-	r, err = inj.RunAt(n-1, faultmodel.OutputPSum, 0.1)
+	r, err = inj.RunAt(context.Background(), n-1, faultmodel.OutputPSum, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}

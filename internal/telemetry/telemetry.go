@@ -1,0 +1,200 @@
+// Package telemetry instruments long-running injection campaigns: lock-free
+// experiment and per-fault-model outcome counters, per-phase wall-clock
+// timings, and point-in-time snapshots. Campaign workers call
+// RecordExperiment from many goroutines; observers (progress emitters, run
+// manifests) call Snapshot concurrently without stopping the campaign.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome labels matching inject.Outcome.String(); telemetry stays decoupled
+// from the inject package by counting on the string form.
+const (
+	OutcomeMasked        = "masked"
+	OutcomeOutputError   = "output-error"
+	OutcomeSystemAnomaly = "system-anomaly"
+)
+
+// Collector aggregates campaign progress. The zero value is not usable; call
+// New. All methods are safe for concurrent use.
+type Collector struct {
+	start       time.Time
+	experiments atomic.Int64
+	models      sync.Map // model name -> *Outcomes
+
+	mu     sync.Mutex
+	phases []*phaseTiming // in first-start order
+	byName map[string]*phaseTiming
+}
+
+// Outcomes tallies experiment classifications for one fault model.
+type Outcomes struct {
+	Masked, OutputError, SystemAnomaly, Other atomic.Int64
+}
+
+type phaseTiming struct {
+	name    string
+	total   time.Duration
+	started time.Time
+	running int
+}
+
+// New returns a collector whose elapsed clock starts now.
+func New() *Collector {
+	return &Collector{start: time.Now(), byName: map[string]*phaseTiming{}}
+}
+
+// RecordExperiment counts one finished experiment for a fault model with the
+// given outcome label. The hot path is atomic-only after the first call per
+// model.
+func (c *Collector) RecordExperiment(model, outcome string) {
+	c.experiments.Add(1)
+	v, ok := c.models.Load(model)
+	if !ok {
+		v, _ = c.models.LoadOrStore(model, &Outcomes{})
+	}
+	t := v.(*Outcomes)
+	switch outcome {
+	case OutcomeMasked:
+		t.Masked.Add(1)
+	case OutcomeOutputError:
+		t.OutputError.Add(1)
+	case OutcomeSystemAnomaly:
+		t.SystemAnomaly.Add(1)
+	default:
+		t.Other.Add(1)
+	}
+}
+
+// Experiments returns the total experiments recorded so far.
+func (c *Collector) Experiments() int64 { return c.experiments.Load() }
+
+// StartPhase begins (or re-enters) timing a named phase. Phases may be
+// entered repeatedly — e.g. one "inject" phase accumulated across the cells
+// of a multi-workload figure — and concurrently; the wall clock runs while
+// at least one entry is open.
+func (c *Collector) StartPhase(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.byName[name]
+	if p == nil {
+		p = &phaseTiming{name: name}
+		c.byName[name] = p
+		c.phases = append(c.phases, p)
+	}
+	if p.running == 0 {
+		p.started = time.Now()
+	}
+	p.running++
+}
+
+// EndPhase closes one StartPhase entry, accumulating wall-clock time when
+// the last concurrent entry closes. Unbalanced calls are ignored.
+func (c *Collector) EndPhase(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.byName[name]
+	if p == nil || p.running == 0 {
+		return
+	}
+	p.running--
+	if p.running == 0 {
+		p.total += time.Since(p.started)
+	}
+}
+
+// OutcomeCounts is the immutable snapshot form of Outcomes.
+type OutcomeCounts struct {
+	Masked        int64 `json:"masked"`
+	OutputError   int64 `json:"output_error"`
+	SystemAnomaly int64 `json:"system_anomaly"`
+	Other         int64 `json:"other,omitempty"`
+}
+
+// Total sums all outcome classes.
+func (o OutcomeCounts) Total() int64 {
+	return o.Masked + o.OutputError + o.SystemAnomaly + o.Other
+}
+
+// PhaseSnapshot reports one phase's accumulated wall-clock time.
+type PhaseSnapshot struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Running bool    `json:"running,omitempty"`
+}
+
+// Snapshot is a point-in-time view of the collector, serializable as one
+// JSONL progress line or embedded in a run manifest.
+type Snapshot struct {
+	ElapsedSec  float64                  `json:"elapsed_sec"`
+	Experiments int64                    `json:"experiments"`
+	PerSec      float64                  `json:"experiments_per_sec"`
+	Models      map[string]OutcomeCounts `json:"models,omitempty"`
+	Phases      []PhaseSnapshot          `json:"phases,omitempty"`
+}
+
+// Snapshot captures the current counters. Model keys are sorted into a map
+// (deterministic when serialized by encoding/json), phases keep first-start
+// order.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		ElapsedSec:  time.Since(c.start).Seconds(),
+		Experiments: c.experiments.Load(),
+	}
+	if s.ElapsedSec > 0 {
+		s.PerSec = float64(s.Experiments) / s.ElapsedSec
+	}
+	models := map[string]OutcomeCounts{}
+	c.models.Range(func(k, v any) bool {
+		t := v.(*Outcomes)
+		models[k.(string)] = OutcomeCounts{
+			Masked:        t.Masked.Load(),
+			OutputError:   t.OutputError.Load(),
+			SystemAnomaly: t.SystemAnomaly.Load(),
+			Other:         t.Other.Load(),
+		}
+		return true
+	})
+	if len(models) > 0 {
+		s.Models = models
+	}
+	c.mu.Lock()
+	for _, p := range c.phases {
+		total := p.total
+		if p.running > 0 {
+			total += time.Since(p.started)
+		}
+		s.Phases = append(s.Phases, PhaseSnapshot{
+			Name: p.name, Seconds: total.Seconds(), Running: p.running > 0,
+		})
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// RateSince returns the experiments/sec over the window between prev and s,
+// for interval (rather than cumulative) progress rates. Returns 0 when the
+// window is empty or inverted.
+func (s Snapshot) RateSince(prev Snapshot) float64 {
+	dt := s.ElapsedSec - prev.ElapsedSec
+	if dt <= 0 {
+		return 0
+	}
+	return float64(s.Experiments-prev.Experiments) / dt
+}
+
+// ModelNames returns the snapshot's fault-model keys in sorted order, for
+// deterministic textual reports.
+func (s Snapshot) ModelNames() []string {
+	names := make([]string, 0, len(s.Models))
+	for n := range s.Models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

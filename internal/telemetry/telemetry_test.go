@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	c := New()
+	c.RecordExperiment("cbuf2mac/input", OutcomeMasked)
+	c.RecordExperiment("cbuf2mac/input", OutcomeOutputError)
+	c.RecordExperiment("global-control", OutcomeSystemAnomaly)
+	c.RecordExperiment("global-control", "weird")
+	s := c.Snapshot()
+	if s.Experiments != 4 {
+		t.Errorf("experiments = %d", s.Experiments)
+	}
+	in := s.Models["cbuf2mac/input"]
+	if in.Masked != 1 || in.OutputError != 1 || in.Total() != 2 {
+		t.Errorf("input tallies: %+v", in)
+	}
+	gc := s.Models["global-control"]
+	if gc.SystemAnomaly != 1 || gc.Other != 1 {
+		t.Errorf("global tallies: %+v", gc)
+	}
+	if s.PerSec <= 0 {
+		t.Errorf("rate = %v", s.PerSec)
+	}
+	if got := s.ModelNames(); len(got) != 2 || got[0] != "cbuf2mac/input" {
+		t.Errorf("model names: %v", got)
+	}
+}
+
+func TestPhases(t *testing.T) {
+	c := New()
+	c.StartPhase("trace")
+	time.Sleep(5 * time.Millisecond)
+	c.EndPhase("trace")
+	c.StartPhase("inject")
+	s := c.Snapshot()
+	if len(s.Phases) != 2 {
+		t.Fatalf("phases: %+v", s.Phases)
+	}
+	if s.Phases[0].Name != "trace" || s.Phases[0].Seconds <= 0 || s.Phases[0].Running {
+		t.Errorf("trace phase: %+v", s.Phases[0])
+	}
+	if s.Phases[1].Name != "inject" || !s.Phases[1].Running {
+		t.Errorf("inject phase: %+v", s.Phases[1])
+	}
+	// Re-entering accumulates rather than resetting.
+	c.EndPhase("inject")
+	before := c.Snapshot().Phases[1].Seconds
+	c.StartPhase("inject")
+	time.Sleep(2 * time.Millisecond)
+	c.EndPhase("inject")
+	if after := c.Snapshot().Phases[1].Seconds; after <= before {
+		t.Errorf("inject did not accumulate: %v -> %v", before, after)
+	}
+	// Unbalanced EndPhase is a no-op.
+	c.EndPhase("nope")
+	c.EndPhase("trace")
+	c.EndPhase("trace")
+}
+
+func TestRateSince(t *testing.T) {
+	prev := Snapshot{ElapsedSec: 1, Experiments: 100}
+	cur := Snapshot{ElapsedSec: 3, Experiments: 300}
+	if r := cur.RateSince(prev); r != 100 {
+		t.Errorf("interval rate = %v", r)
+	}
+	if r := prev.RateSince(cur); r != 0 {
+		t.Errorf("inverted window rate = %v", r)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	c := New()
+	c.RecordExperiment("m", OutcomeMasked)
+	c.StartPhase("inject")
+	blob, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiments != 1 || back.Models["m"].Masked != 1 {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+// Concurrent recording from many goroutines with snapshots interleaved —
+// exercised under -race in CI.
+func TestConcurrentRecording(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.RecordExperiment("m", OutcomeMasked)
+				if i%100 == 0 {
+					c.StartPhase("p")
+					c.Snapshot()
+					c.EndPhase("p")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Experiments(); n != 4000 {
+		t.Errorf("experiments = %d", n)
+	}
+}
