@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet ci
+.PHONY: build test race chaos bench fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,13 @@ test:
 # and the injector). Slow: the campaign suite takes several minutes under -race.
 race:
 	$(GO) test -race -timeout 30m ./internal/campaign/... ./internal/inject/...
+
+# The chaos self-test harness: synthetic panics, hangs, and I/O errors
+# injected into live campaigns; the supervisor must recover deterministically.
+# Run twice under -race — the watchdog's abandoned-goroutine protocol and the
+# resume paths are exactly where flakes would hide.
+chaos:
+	$(GO) test -race -timeout 30m -run 'Chaos' -count=2 ./internal/campaign/...
 
 # One iteration of every benchmark — smoke, not measurement.
 bench:
@@ -28,4 +35,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build test race bench
+ci: fmt vet build test race chaos bench

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,9 +56,17 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fidelity:", err)
+		if errors.Is(err, errPartial) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
+
+// errPartial marks a campaign degraded by an exhausted shard failure budget;
+// it maps to a distinct exit code so schedulers can tell flagged partial
+// results from hard failures.
+var errPartial = errors.New("partial result (a shard exhausted its failure budget)")
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fidelity <table1|table2|fig2|census|sensitivity> [flags]
@@ -150,6 +159,8 @@ func sensitivity(ctx context.Context, args []string) error {
 	samples := fs.Int("samples", 200, "experiments per fault model")
 	ffDelta := fs.Float64("ff", 0.3, "relative uncertainty of the FF-count estimate")
 	actDelta := fs.Float64("act", 0.2, "relative uncertainty of the activeness estimates")
+	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = off)")
+	failBudget := fs.Int("failure-budget", 0, "max quarantined experiments per shard (0 = default, negative = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,6 +171,7 @@ func sensitivity(ctx context.Context, args []string) error {
 	}
 	res, err := fw.Analyze(ctx, *net, numerics.FP16, campaign.StudyOptions{
 		Samples: *samples, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
+		ExperimentTimeout: *expTimeout, FailureBudget: *failBudget,
 	})
 	if err != nil {
 		return err
@@ -173,6 +185,9 @@ func sensitivity(ctx context.Context, args []string) error {
 		*ffDelta*100, *actDelta*100, lo, hi)
 	fmt.Printf("ASIL-D FF budget: %.2f — %s even at the optimistic bound\n",
 		0.2, verdict(lo))
+	if res.Partial {
+		return fmt.Errorf("%s: %w (%d experiments quarantined)", *net, errPartial, len(res.Quarantined))
+	}
 	return nil
 }
 

@@ -67,6 +67,10 @@ func main() {
 	ckptInterval := flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint save interval (0 = save only on interrupt)")
 	progress := flag.Duration("progress", 0, "emit JSONL progress snapshots to stderr at this interval (0 = off)")
 	manifest := flag.String("manifest", "study.manifest.json", "write a machine-readable run manifest to this file (empty disables)")
+	expTimeout := flag.Duration("experiment-timeout", 0, "per-experiment watchdog deadline; hung experiments are quarantined (0 = off)")
+	failBudget := flag.Int("failure-budget", 0, "max quarantined experiments per shard before the study degrades to a partial result (0 = default, negative = unlimited)")
+	ioRetries := flag.Int("io-retries", 0, "retries for transient checkpoint/manifest write failures (0 = default)")
+	ioBackoff := flag.Duration("io-backoff", 0, "initial backoff between I/O retries, doubling per attempt (0 = default)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the campaign context; workers stop at an
@@ -88,6 +92,10 @@ func main() {
 			Workers: *workers, Shards: *shards, PerLayer: *perLayer,
 			CheckpointPath:     *checkpoint,
 			CheckpointInterval: *ckptInterval,
+			ExperimentTimeout:  *expTimeout,
+			FailureBudget:      *failBudget,
+			IORetries:          *ioRetries,
+			IOBackoff:          *ioBackoff,
 		},
 	}
 	r.opts.Telemetry = r.tel
@@ -100,8 +108,8 @@ func main() {
 		if r.opts.CheckpointPath == "" {
 			r.opts.CheckpointPath = *resume
 		}
-		fmt.Fprintf(os.Stderr, "study: resuming %s/%s@%g from %s (%d experiments done)\n",
-			cp.Workload, cp.Precision, cp.Tolerance, *resume, cp.Experiments)
+		fmt.Fprintf(os.Stderr, "study: resuming %s/%s@%g from %s (%d experiments done, %d quarantined)\n",
+			cp.Workload, cp.Precision, cp.Tolerance, *resume, cp.Experiments, cp.Quarantined)
 	}
 	stopProgress := r.emitProgress(*progress)
 
@@ -151,6 +159,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	partial := false
+	for _, res := range r.results {
+		if res.Partial {
+			partial = true
+		}
+	}
+	if partial {
+		// Degraded run: keep the checkpoint (it completes the study once the
+		// failure is fixed) and exit with a distinct code so schedulers can
+		// tell a flagged partial result from a clean one.
+		r.writeManifest(*manifest, nil)
+		fmt.Fprintf(os.Stderr, "study: partial result: at least one shard exhausted its failure budget"+
+			" (%d experiments quarantined); checkpoint kept for resume\n", quarantined(r.results))
+		os.Exit(3)
+	}
 	// The campaign completed: a leftover (periodic or resumed-from)
 	// checkpoint would only repeat the finished run, so clean it up.
 	if p := r.opts.CheckpointPath; p != "" {
@@ -159,6 +182,15 @@ func main() {
 		}
 	}
 	r.writeManifest(*manifest, nil)
+}
+
+// quarantined totals the supervisor-removed experiments across study cells.
+func quarantined(results []*campaign.StudyResult) int {
+	n := 0
+	for _, res := range results {
+		n += len(res.Quarantined)
+	}
+	return n
 }
 
 func fail(err error) {
@@ -237,6 +269,10 @@ type manifestResult struct {
 	FIT          float64 `json:"fit"`
 	FITProtected float64 `json:"fit_protected"`
 	Experiments  int     `json:"experiments"`
+	// Quarantined counts experiments the supervisor removed from this cell;
+	// Partial marks a cell degraded by an exhausted shard failure budget.
+	Quarantined int  `json:"quarantined,omitempty"`
+	Partial     bool `json:"partial,omitempty"`
 }
 
 // runManifest is the machine-readable summary written next to the report
@@ -254,6 +290,8 @@ type runManifest struct {
 	Shards      int                `json:"shards"`
 	PerLayer    bool               `json:"per_layer,omitempty"`
 	Interrupted bool               `json:"interrupted,omitempty"`
+	Partial     bool               `json:"partial,omitempty"`
+	Quarantined int                `json:"quarantined,omitempty"`
 	Checkpoint  string             `json:"checkpoint,omitempty"`
 	Telemetry   telemetry.Snapshot `json:"telemetry"`
 	Results     []manifestResult   `json:"results,omitempty"`
@@ -279,11 +317,26 @@ func (r *runner) writeManifest(path string, intr *campaign.Interrupted) {
 			Workload: res.Workload, Precision: res.Precision, Tolerance: res.Tolerance,
 			FIT: res.FIT.Total, FITProtected: res.FITProtected.Total,
 			Experiments: res.Experiments,
+			Quarantined: len(res.Quarantined), Partial: res.Partial,
 		})
+		m.Quarantined += len(res.Quarantined)
+		if res.Partial {
+			m.Partial = true
+			m.Checkpoint = r.opts.CheckpointPath
+		}
 	}
 	blob, err := json.MarshalIndent(m, "", " ")
 	if err == nil {
-		err = os.WriteFile(path, append(blob, '\n'), 0o644)
+		retries, backoff := r.opts.IORetries, r.opts.IOBackoff
+		if retries <= 0 {
+			retries = campaign.DefaultIORetries
+		}
+		if backoff <= 0 {
+			backoff = campaign.DefaultIOBackoff
+		}
+		err = campaign.RetryIO(r.tel, retries, backoff, func() error {
+			return os.WriteFile(path, append(blob, '\n'), 0o644)
+		})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "study: manifest:", err)

@@ -154,12 +154,18 @@ func SensitivityBounds(ctx context.Context, cfg *Config, res *StudyResult, ffDel
 }
 
 // Checkpoint is a resumable snapshot of an interrupted injection campaign
-// (per-shard tallies, sampler stream positions, and experiment cursors).
+// (per-shard tallies, experiment cursors, and quarantine lists).
 type Checkpoint = campaign.Checkpoint
 
 // Interrupted is the error returned by Analyze when its context is
 // cancelled mid-campaign; it carries the Checkpoint to resume from.
 type Interrupted = campaign.Interrupted
+
+// QuarantinedExperiment records one experiment the campaign supervisor
+// removed after a framework failure (recovered panic or watchdog timeout);
+// see StudyResult.Quarantined and StudyOptions.{ExperimentTimeout,
+// FailureBudget}.
+type QuarantinedExperiment = campaign.QuarantinedExperiment
 
 // LoadCheckpoint reads a campaign checkpoint file for StudyOptions.Resume.
 func LoadCheckpoint(path string) (*Checkpoint, error) { return campaign.LoadCheckpoint(path) }

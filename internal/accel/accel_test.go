@@ -160,3 +160,37 @@ func TestStringers(t *testing.T) {
 		t.Error("category string format changed")
 	}
 }
+
+// TestFingerprint: stable for identical configs, sensitive to every
+// analysis-relevant field — campaign checkpoints pin results to it.
+func TestFingerprint(t *testing.T) {
+	a, b := NVDLASmall(), NVDLASmall()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"Name", func(c *Config) { c.Name = "other" }},
+		{"AtomicK", func(c *Config) { c.AtomicK++ }},
+		{"AtomicC", func(c *Config) { c.AtomicC++ }},
+		{"WeightHoldCycles", func(c *Config) { c.WeightHoldCycles++ }},
+		{"NumFFs", func(c *Config) { c.NumFFs++ }},
+		{"FetchBytesPerCycle", func(c *Config) { c.FetchBytesPerCycle++ }},
+		{"CBUFBytes", func(c *Config) { c.CBUFBytes++ }},
+		{"Census frac", func(c *Config) {
+			cs := append([]FFGroup(nil), c.Census...)
+			cs[0].Frac += 0.001
+			c.Census = cs
+		}},
+		{"Census dropped", func(c *Config) { c.Census = c.Census[1:] }},
+	}
+	for _, m := range mutations {
+		c := *NVDLASmall()
+		m.mut(&c)
+		if c.Fingerprint() == a.Fingerprint() {
+			t.Errorf("mutating %s did not change the fingerprint", m.name)
+		}
+	}
+}

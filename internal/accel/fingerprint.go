@@ -1,0 +1,24 @@
+package accel
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a short stable hash over every Config field that
+// influences derived fault models, activeness, or the FIT computation.
+// Campaign checkpoints pin it so a checkpoint taken under one accelerator
+// description can never silently resume a study of another: two configs
+// share a fingerprint iff their analysable content is identical.
+func (c *Config) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|%d",
+		c.Name, c.AtomicK, c.AtomicC, c.WeightHoldCycles,
+		c.NumFFs, c.FetchBytesPerCycle, c.CBUFBytes)
+	for _, g := range c.Census {
+		fmt.Fprintf(h, "|%d/%d/%d@%d:%g:%g:%g:%g",
+			g.Cat.Class, g.Cat.Var, g.Cat.Pos, g.Component,
+			g.Frac, g.DecompressFrac, g.FPOnlyFrac, g.IntOnlyFrac)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -6,12 +6,19 @@ import (
 	"os"
 	"path/filepath"
 
+	"fidelity/internal/accel"
 	"fidelity/internal/faultmodel"
 	"fidelity/internal/model"
 )
 
 // checkpointVersion guards the on-disk format; bump on incompatible change.
-const checkpointVersion = 1
+//
+// v2 (supervised campaigns): every experiment draws from an independent
+// random stream derived from (seed, shard, cursor), so the cursor alone
+// positions a resume — the v1 per-shard sampler draw counter is gone. v2
+// also pins the accelerator config fingerprint and persists the quarantine
+// list of experiments the supervisor removed after framework failures.
+const checkpointVersion = 2
 
 // Cursor addresses the next experiment of a shard inside the campaign's
 // deterministic loop nest: input → fault model (AllIDs order) → layer
@@ -23,28 +30,75 @@ type Cursor struct {
 	Sample int `json:"sample"`
 }
 
+// before orders cursors by the campaign loop nest.
+func (c Cursor) before(o Cursor) bool {
+	if c.Input != o.Input {
+		return c.Input < o.Input
+	}
+	if c.Model != o.Model {
+		return c.Model < o.Model
+	}
+	if c.Exec != o.Exec {
+		return c.Exec < o.Exec
+	}
+	return c.Sample < o.Sample
+}
+
+// Quarantine reasons recorded by the campaign supervisor.
+const (
+	// ReasonPanic marks an experiment whose injection code panicked; the
+	// panic was recovered and the experiment removed from the study.
+	ReasonPanic = "panic"
+	// ReasonTimeout marks an experiment that exceeded
+	// StudyOptions.ExperimentTimeout and was abandoned by the watchdog.
+	ReasonTimeout = "timeout"
+)
+
+// QuarantinedExperiment records one experiment the supervision layer removed
+// from the campaign after a framework-level failure. Because experiment
+// streams are cursor-derived, a resumed campaign skips a quarantined cursor
+// bit-identically: no other experiment's draws depend on it.
+type QuarantinedExperiment struct {
+	Shard  int    `json:"shard"`
+	Cursor Cursor `json:"cursor"`
+	// Model names the fault model the experiment would have exercised.
+	Model string `json:"model"`
+	// Reason is ReasonPanic or ReasonTimeout.
+	Reason string `json:"reason"`
+	// Detail carries the panic value or the exceeded timeout. Deliberately
+	// deterministic (no stack traces): a resumed run must reproduce the
+	// quarantine list of an uninterrupted one byte for byte.
+	Detail string `json:"detail,omitempty"`
+}
+
 // ShardCheckpoint is one logical shard's resumable state: the Proportion
-// tallies accumulated so far, the sampler's position in its random stream,
-// and the cursor of the next experiment to run. A shard restored from this
+// tallies accumulated so far, the cursor of the next experiment to run, and
+// the experiments quarantined by the supervisor. A shard restored from this
 // state continues bit-identically to an uninterrupted run.
 type ShardCheckpoint struct {
-	Index   int                     `json:"index"`
-	Done    bool                    `json:"done,omitempty"`
-	Sampler faultmodel.SamplerState `json:"sampler"`
-	Cursor  Cursor                  `json:"cursor"`
+	Index  int    `json:"index"`
+	Done   bool   `json:"done,omitempty"`
+	Cursor Cursor `json:"cursor"`
 	// Experiments counts this shard's completed injection runs.
 	Experiments int                            `json:"experiments"`
 	Masked      map[faultmodel.ID]Proportion   `json:"masked"`
 	PerLayer    []map[faultmodel.ID]Proportion `json:"per_layer,omitempty"`
 	Perturb     PerturbationStats              `json:"perturb"`
+	// Quarantine lists this shard's supervisor-removed experiments, in
+	// cursor order. Resume skips them without re-running.
+	Quarantine []QuarantinedExperiment `json:"quarantine,omitempty"`
 }
 
 // Checkpoint is a resumable snapshot of an in-flight Study. The identity
-// fields pin the exact campaign (workload, options, seed, shard count); a
-// checkpoint only resumes a Study whose parameters match, so stale files are
-// ignored rather than silently corrupting results.
+// fields pin the exact campaign (accelerator config, workload, options,
+// seed, shard count); a checkpoint only resumes a Study whose parameters
+// match, so stale files are ignored rather than silently corrupting results.
 type Checkpoint struct {
-	Version   int     `json:"version"`
+	Version int `json:"version"`
+	// Config is the accelerator description's fingerprint
+	// (accel.Config.Fingerprint): results are a function of the config, so
+	// resuming under a different one would corrupt them.
+	Config    string  `json:"config"`
 	Workload  string  `json:"workload"`
 	Precision string  `json:"precision"`
 	Tolerance float64 `json:"tolerance"`
@@ -54,15 +108,18 @@ type Checkpoint struct {
 	Shards    int     `json:"shards"`
 	PerLayer  bool    `json:"per_layer,omitempty"`
 	// Experiments is the total completed across shards (convenience).
-	Experiments int               `json:"experiments"`
+	Experiments int `json:"experiments"`
+	// Quarantined is the total quarantine count across shards (convenience).
+	Quarantined int               `json:"quarantined,omitempty"`
 	Shard       []ShardCheckpoint `json:"shard"`
 }
 
 // Matches reports whether the checkpoint belongs to the campaign defined by
-// (w, opts) with the given resolved shard count.
-func (c *Checkpoint) Matches(w *model.Workload, opts StudyOptions, shards int) bool {
+// (cfg, w, opts) with the given resolved shard count.
+func (c *Checkpoint) Matches(cfg *accel.Config, w *model.Workload, opts StudyOptions, shards int) bool {
 	return c != nil &&
 		c.Version == checkpointVersion &&
+		c.Config == cfg.Fingerprint() &&
 		c.Workload == w.Net.Name() &&
 		c.Precision == w.Net.Precision.String() &&
 		c.Tolerance == opts.Tolerance &&
@@ -74,8 +131,10 @@ func (c *Checkpoint) Matches(w *model.Workload, opts StudyOptions, shards int) b
 		len(c.Shard) == shards
 }
 
-// Save writes the checkpoint as JSON, atomically (temp file + rename), so a
-// crash mid-write never leaves a truncated checkpoint behind.
+// Save writes the checkpoint as JSON, atomically and durably: temp file +
+// fsync + rename + directory fsync, so a crash at any point leaves either
+// the old checkpoint or the complete new one — never a truncated or lost
+// file.
 func (c *Checkpoint) Save(path string) error {
 	blob, err := json.MarshalIndent(c, "", " ")
 	if err != nil {
@@ -87,10 +146,18 @@ func (c *Checkpoint) Save(path string) error {
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(blob); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		return fail(err)
+	}
+	// Flush the contents before the rename publishes the name: a crash right
+	// after the rename must not be able to surface an empty file.
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -99,6 +166,15 @@ func (c *Checkpoint) Save(path string) error {
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("campaign: write checkpoint: %w", err)
+	}
+	// And fsync the directory so the rename itself is durable.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("campaign: sync checkpoint directory: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync checkpoint directory: %w", err)
 	}
 	return nil
 }
@@ -114,7 +190,8 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
 	}
 	if c.Version != checkpointVersion {
-		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d",
+		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d "+
+			"(v1 checkpoints predate quarantine tracking and cursor-derived sampling; rerun the campaign)",
 			path, c.Version, checkpointVersion)
 	}
 	return &c, nil

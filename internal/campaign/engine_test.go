@@ -227,6 +227,35 @@ func TestStudyMismatchedResumeIgnored(t *testing.T) {
 	requireEqualResults(t, "mismatched checkpoint ignored", fresh, res)
 }
 
+// TestCheckpointConfigFingerprint: a checkpoint pins the accelerator config
+// by fingerprint — resuming the same campaign options under a different
+// design must not reuse it, since the results are a function of the config.
+func TestCheckpointConfigFingerprint(t *testing.T) {
+	w := engineWorkload(t)
+	cfgA := accel.NVDLASmall()
+	base := StudyOptions{Samples: 40, Inputs: 2, Tolerance: 0.1, Seed: 3}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Study(ctx, cfgA, w, base)
+	var intr *Interrupted
+	if !errors.As(err, &intr) {
+		t.Fatalf("got %v, want *Interrupted", err)
+	}
+	cp := intr.Checkpoint
+	if cp.Config != cfgA.Fingerprint() {
+		t.Errorf("checkpoint config %q, want fingerprint %q", cp.Config, cfgA.Fingerprint())
+	}
+	if !cp.Matches(cfgA, w, base, base.shards()) {
+		t.Error("checkpoint rejects the config that produced it")
+	}
+	cfgB := *cfgA
+	cfgB.NumFFs++
+	if cp.Matches(&cfgB, w, base, base.shards()) {
+		t.Error("checkpoint accepted a different accelerator config")
+	}
+}
+
 // TestStudyTelemetryCounts: the collector's experiment counter and per-model
 // outcome tallies must agree with the StudyResult.
 func TestStudyTelemetryCounts(t *testing.T) {

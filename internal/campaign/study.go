@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"fidelity/internal/model"
 	"fidelity/internal/nn"
 	"fidelity/internal/telemetry"
+	"fidelity/internal/tensor"
 )
 
 // DefaultShards is the number of logical sampling shards a study splits its
@@ -64,9 +66,33 @@ type StudyOptions struct {
 	// runs from scratch — so one checkpoint file can safely be offered to
 	// every cell of a multi-workload figure.
 	Resume *Checkpoint
-	// Telemetry, when non-nil, receives per-experiment outcome counts and
-	// per-phase wall-clock timings.
+	// Telemetry, when non-nil, receives per-experiment outcome counts,
+	// per-phase wall-clock timings, and the supervisor's recovery counters.
 	Telemetry *telemetry.Collector
+	// ExperimentTimeout bounds one injection experiment's wall-clock time.
+	// A positive value runs every experiment under a per-shard watchdog: an
+	// experiment that exceeds the deadline is abandoned on its goroutine,
+	// quarantined, and the shard continues on a fresh injector. 0 disables
+	// the watchdog and runs experiments inline.
+	ExperimentTimeout time.Duration
+	// FailureBudget caps, per shard and per run, how many experiments the
+	// supervisor may quarantine (recovered panics plus timeouts) before the
+	// shard stops contributing and the study degrades into a partial result
+	// (StudyResult.Partial). 0 selects DefaultFailureBudget; negative means
+	// unlimited.
+	FailureBudget int
+	// IORetries and IOBackoff bound the retry-with-exponential-backoff loop
+	// around checkpoint saves, for transient I/O failures. Zero values
+	// select DefaultIORetries and DefaultIOBackoff.
+	IORetries int
+	IOBackoff time.Duration
+
+	// chaos is the test-only failure injector of the chaos self-test
+	// harness; always nil in production.
+	chaos *chaosPolicy
+	// observe is a test-only per-experiment observer, called for every
+	// completed (non-quarantined) experiment.
+	observe func(shard int, cur Cursor, id faultmodel.ID, r inject.Result)
 }
 
 // shards returns the resolved shard count.
@@ -112,6 +138,16 @@ type StudyResult struct {
 	Layers []fit.LayerStats
 	// RawPerFF is the per-FF raw FIT rate used.
 	RawPerFF float64
+	// Quarantined lists the experiments the supervision layer removed from
+	// the campaign after framework failures (recovered panics, watchdog
+	// timeouts), sorted by (shard, cursor). Their outcomes are excluded
+	// from every statistic above.
+	Quarantined []QuarantinedExperiment
+	// Partial marks a degraded campaign: at least one shard stopped early
+	// after exhausting its failure budget. The tallies cover only the
+	// experiments that ran; resume from the saved checkpoint to complete
+	// the study.
+	Partial bool
 }
 
 // specsFromTrace derives the accelerator-level layer descriptions of a
@@ -146,28 +182,49 @@ func specsFromTrace(w *model.Workload, execs []nn.SiteExecution) ([]accel.LayerS
 // owns the tally fields exclusively; concurrent observers (the periodic
 // checkpoint saver) read only the published snapshot under mu.
 type shardState struct {
-	index        int
-	samplerState faultmodel.SamplerState
+	index int
+	seed  int64
 
-	// Owned by the worker executing the shard.
-	sampler     *faultmodel.Sampler
-	masked      map[faultmodel.ID]*Proportion
-	perLayer    []map[faultmodel.ID]*Proportion
-	perturb     PerturbationStats
-	experiments int
-	cursor      Cursor
-	done        bool
-	err         error
+	// Campaign bindings, set once before the workers start.
+	w      *model.Workload
+	models []faultmodel.Model
+	opts   StudyOptions
+
+	// Owned by the worker executing the shard. sampler and inj are replaced
+	// wholesale after a watchdog kill: the abandoned experiment goroutine
+	// may still be touching the old pair, so they are never reused.
+	sampler *faultmodel.Sampler
+	inj     *inject.Injector
+	input   *tensor.Tensor
+
+	masked       map[faultmodel.ID]*Proportion
+	perLayer     []map[faultmodel.ID]*Proportion
+	perturb      PerturbationStats
+	experiments  int
+	cursor       Cursor
+	quarantine   []QuarantinedExperiment
+	quarantined  map[Cursor]bool
+	failures     int // quarantines charged to this run's failure budget
+	sincePublish int
+	done         bool
+	err          error
 
 	mu        sync.Mutex
 	published ShardCheckpoint
 }
 
-func newShardState(index int, seed int64) *shardState {
+// errShardExhausted aborts a shard's run after its failure budget is spent;
+// the study degrades to a partial result instead of failing.
+var errShardExhausted = errors.New("campaign: shard failure budget exhausted")
+
+func newShardState(index int, seed int64, w *model.Workload, models []faultmodel.Model, opts StudyOptions) *shardState {
 	sh := &shardState{
-		index:        index,
-		samplerState: faultmodel.SamplerState{Seed: seed},
-		masked:       map[faultmodel.ID]*Proportion{},
+		index:  index,
+		seed:   seed,
+		w:      w,
+		models: models,
+		opts:   opts,
+		masked: map[faultmodel.ID]*Proportion{},
 	}
 	for _, id := range faultmodel.AllIDs() {
 		sh.masked[id] = &Proportion{}
@@ -176,10 +233,8 @@ func newShardState(index int, seed int64) *shardState {
 	return sh
 }
 
-// restore loads a shard checkpoint into the live state. The sampler itself
-// is rebuilt lazily when the shard runs.
+// restore loads a shard checkpoint into the live state.
 func (sh *shardState) restore(sc ShardCheckpoint) {
-	sh.samplerState = sc.Sampler
 	sh.cursor = sc.Cursor
 	sh.done = sc.Done
 	sh.experiments = sc.Experiments
@@ -198,25 +253,29 @@ func (sh *shardState) restore(sc ShardCheckpoint) {
 			}
 		}
 	}
+	sh.quarantine = append([]QuarantinedExperiment(nil), sc.Quarantine...)
+	if len(sh.quarantine) > 0 {
+		sh.quarantined = make(map[Cursor]bool, len(sh.quarantine))
+		for _, q := range sh.quarantine {
+			sh.quarantined[q.Cursor] = true
+		}
+	}
 	sh.publish(sh.cursor)
 }
 
 // publish snapshots the live state as a consistent ShardCheckpoint whose
 // cursor names the next experiment to run. Called by the owning worker at
-// experiment boundaries only, so tallies, sampler position and cursor always
+// experiment boundaries only, so tallies, quarantine and cursor always
 // agree.
 func (sh *shardState) publish(cur Cursor) {
 	sc := ShardCheckpoint{
 		Index:       sh.index,
 		Done:        sh.done,
-		Sampler:     sh.samplerState,
 		Cursor:      cur,
 		Experiments: sh.experiments,
 		Perturb:     sh.perturb,
 		Masked:      make(map[faultmodel.ID]Proportion, len(sh.masked)),
-	}
-	if sh.sampler != nil {
-		sc.Sampler = sh.sampler.State()
+		Quarantine:  append([]QuarantinedExperiment(nil), sh.quarantine...),
 	}
 	for id, p := range sh.masked {
 		sc.Masked[id] = *p
@@ -246,64 +305,207 @@ func (sh *shardState) snapshot() ShardCheckpoint {
 // its published snapshot for the periodic checkpoint saver.
 const publishEvery = 64
 
-// run executes the shard's slice of the experiment space from its cursor.
-// On context cancellation it publishes a consistent snapshot and returns the
-// context's error; any other error is a campaign failure.
-func (sh *shardState) run(ctx context.Context, w *model.Workload, models []faultmodel.Model, opts StudyOptions) error {
-	shards := opts.shards()
-	tel := opts.Telemetry
-	sampler, err := faultmodel.NewSamplerAt(models, sh.samplerState)
-	if err != nil {
+// boundary pauses at an experiment boundary: ctx is checked and the
+// published snapshot refreshed before the cursor's experiment runs.
+func (sh *shardState) boundary(ctx context.Context, cur Cursor) error {
+	if err := ctx.Err(); err != nil {
+		sh.cursor = cur
+		sh.publish(cur)
 		return err
 	}
-	sh.sampler = sampler
-	inj := inject.New(w, sampler)
-	ids := faultmodel.AllIDs()
-	cur := sh.cursor
-	sincePublish := 0
-
-	// checkpointable pauses at an experiment boundary: ctx is checked and the
-	// published snapshot refreshed before the cursor's experiment runs.
-	checkpointable := func(cur Cursor) error {
-		if err := ctx.Err(); err != nil {
-			sh.cursor = cur
-			sh.publish(cur)
-			return err
-		}
-		if sincePublish++; sincePublish >= publishEvery {
-			sincePublish = 0
-			sh.publish(cur)
-		}
-		return nil
+	if sh.sincePublish++; sh.sincePublish >= publishEvery {
+		sh.sincePublish = 0
+		sh.publish(cur)
 	}
-	record := func(layer int, id faultmodel.ID, r inject.Result) {
-		sh.experiments++
-		masked := r.Outcome == inject.Masked
-		sh.masked[id].Add(masked)
-		if layer >= 0 && sh.perLayer != nil {
-			sh.perLayer[layer][id].Add(masked)
-		}
-		if r.FaultyNeurons == 1 {
-			failed := !masked
-			if r.MaxPerturbation <= 100 {
-				sh.perturb.SmallFail.Add(failed)
-			} else {
-				sh.perturb.LargeFail.Add(failed)
-			}
-		}
-		if tel != nil {
-			tel.RecordExperiment(id.String(), r.Outcome.String())
+	return nil
+}
+
+// record tallies one completed experiment.
+func (sh *shardState) record(layer int, id faultmodel.ID, r inject.Result) {
+	sh.experiments++
+	masked := r.Outcome == inject.Masked
+	sh.masked[id].Add(masked)
+	if layer >= 0 && sh.perLayer != nil {
+		sh.perLayer[layer][id].Add(masked)
+	}
+	if r.FaultyNeurons == 1 {
+		failed := !masked
+		if r.MaxPerturbation <= 100 {
+			sh.perturb.SmallFail.Add(failed)
+		} else {
+			sh.perturb.LargeFail.Add(failed)
 		}
 	}
+	if tel := sh.opts.Telemetry; tel != nil {
+		tel.RecordExperiment(id.String(), r.Outcome.String())
+	}
+}
 
-	for ; cur.Input < opts.Inputs; cur.Input, cur.Model = cur.Input+1, 0 {
-		x, err := dataset.Sample(w.Dataset, cur.Input)
+// setInput caches the input and prepares the live injector for it.
+func (sh *shardState) setInput(x *tensor.Tensor) error {
+	sh.input = x
+	if sh.inj == nil {
+		return sh.ensureInjector()
+	}
+	return sh.inj.Prepare(x)
+}
+
+// ensureInjector (re)builds the shard's sampler and injector — lazily after
+// a watchdog kill abandoned the previous pair to a wedged goroutine.
+func (sh *shardState) ensureInjector() error {
+	if sh.sampler == nil {
+		s, err := faultmodel.NewSampler(sh.models, sh.seed)
 		if err != nil {
 			return err
 		}
-		if err := inj.Prepare(x); err != nil {
+		sh.sampler = s
+	}
+	if sh.inj == nil {
+		inj := inject.New(sh.w, sh.sampler)
+		if err := inj.Prepare(sh.input); err != nil {
 			return err
 		}
+		sh.inj = inj
+	}
+	return nil
+}
+
+// quarantineExperiment removes the experiment at cur from the campaign after
+// a framework failure, recording it for the checkpoint and telemetry.
+func (sh *shardState) quarantineExperiment(cur Cursor, id faultmodel.ID, ff *frameworkFault) {
+	sh.quarantine = append(sh.quarantine, QuarantinedExperiment{
+		Shard: sh.index, Cursor: cur, Model: id.String(),
+		Reason: ff.reason, Detail: ff.detail,
+	})
+	if sh.quarantined == nil {
+		sh.quarantined = map[Cursor]bool{}
+	}
+	sh.quarantined[cur] = true
+	sh.failures++
+	if tel := sh.opts.Telemetry; tel != nil {
+		tel.RecordExperiment(id.String(), inject.FrameworkFault.String())
+		tel.RecordQuarantine(sh.index, ff.reason)
+		tel.SetShardBudget(sh.index, sh.failures, sh.opts.failureBudget(), false)
+	}
+}
+
+// attempt executes the experiment at cur inside the recovery boundary,
+// under the watchdog when a deadline is configured. A non-nil frameworkFault
+// means the experiment must be quarantined; err is reserved for campaign
+// failures (cancellation, invalid configuration).
+func (sh *shardState) attempt(ctx context.Context, cur Cursor, id faultmodel.ID, execIdx int) (inject.Result, *frameworkFault, error) {
+	if err := sh.ensureInjector(); err != nil {
+		return inject.Result{}, nil, err
+	}
+	sh.sampler.Reseed(experimentSeed(sh.seed, cur))
+	// Everything the experiment needs is captured by value or owned by it
+	// exclusively: on a watchdog kill the shard abandons inj and sampler to
+	// the zombie goroutine and continues on fresh ones, so they never race.
+	inj := sh.inj
+	shard, opts := sh.index, sh.opts
+	run := func() (r inject.Result, ff *frameworkFault, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				r, err = inject.Result{}, nil
+				ff = &frameworkFault{reason: ReasonPanic, detail: fmt.Sprint(p)}
+			}
+		}()
+		if c := opts.chaos; c != nil && c.experiment != nil {
+			c.experiment(shard, cur)
+		}
+		if execIdx >= 0 {
+			r, err = inj.RunAt(ctx, execIdx, id, opts.Tolerance)
+		} else {
+			r, err = inj.Run(ctx, id, opts.Tolerance)
+		}
+		return r, nil, err
+	}
+	if opts.ExperimentTimeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		r   inject.Result
+		ff  *frameworkFault
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, ff, err := run()
+		ch <- outcome{r, ff, err}
+	}()
+	timer := time.NewTimer(opts.ExperimentTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.r, o.ff, o.err
+	case <-timer.C:
+		// The experiment goroutine may be wedged, and Go cannot kill it:
+		// abandon its injector and sampler so the shard continues on fresh
+		// ones without racing the zombie, and let it exit into the buffered
+		// channel whenever (if ever) it completes.
+		sh.inj, sh.sampler = nil, nil
+		return inject.Result{}, &frameworkFault{
+			reason: ReasonTimeout,
+			detail: fmt.Sprintf("exceeded %v", opts.ExperimentTimeout),
+		}, nil
+	}
+}
+
+// step supervises the single experiment at cur: checkpoint boundary,
+// quarantine skip, recovery boundary, failure-budget accounting.
+func (sh *shardState) step(ctx context.Context, cur Cursor, id faultmodel.ID, execIdx int) error {
+	if err := sh.boundary(ctx, cur); err != nil {
+		return err
+	}
+	if sh.quarantined[cur] {
+		// Quarantined on a previous run: skip bit-identically. Experiment
+		// streams are cursor-derived, so no draws need replaying.
+		return nil
+	}
+	r, fault, err := sh.attempt(ctx, cur, id, execIdx)
+	if err != nil {
+		return err
+	}
+	if fault == nil {
+		if sh.opts.observe != nil {
+			sh.opts.observe(sh.index, cur, id, r)
+		}
+		sh.record(execIdx, id, r)
+		return nil
+	}
+	sh.quarantineExperiment(cur, id, fault)
+	if b := sh.opts.failureBudget(); b >= 0 && sh.failures > b {
+		sh.cursor = cur
+		sh.publish(cur)
+		if tel := sh.opts.Telemetry; tel != nil {
+			tel.SetShardBudget(sh.index, sh.failures, b, true)
+		}
+		return errShardExhausted
+	}
+	return nil
+}
+
+// run executes the shard's slice of the experiment space from its cursor.
+// On context cancellation it publishes a consistent snapshot and returns the
+// context's error; errShardExhausted degrades the shard; any other error is
+// a campaign failure.
+func (sh *shardState) run(ctx context.Context) error {
+	opts := sh.opts
+	shards := opts.shards()
+	ids := faultmodel.AllIDs()
+	cur := sh.cursor
+
+	for ; cur.Input < opts.Inputs; cur.Input, cur.Model = cur.Input+1, 0 {
+		x, err := dataset.Sample(sh.w.Dataset, cur.Input)
+		if err != nil {
+			return err
+		}
+		if err := sh.setInput(x); err != nil {
+			return err
+		}
+		// The execution count is a function of the input alone, so it stays
+		// valid across watchdog-forced injector rebuilds.
+		nexec := sh.inj.Executions()
 		// This shard's share of the per-(input, model) sample count.
 		per := opts.Samples / opts.Inputs
 		if cur.Input < opts.Samples%opts.Inputs {
@@ -314,7 +516,7 @@ func (sh *shardState) run(ctx context.Context, w *model.Workload, models []fault
 			mine++
 		}
 		if opts.PerLayer && sh.perLayer == nil {
-			sh.perLayer = make([]map[faultmodel.ID]*Proportion, inj.Executions())
+			sh.perLayer = make([]map[faultmodel.ID]*Proportion, nexec)
 			for e := range sh.perLayer {
 				sh.perLayer[e] = map[faultmodel.ID]*Proportion{}
 				for _, id := range faultmodel.AllIDs() {
@@ -324,44 +526,22 @@ func (sh *shardState) run(ctx context.Context, w *model.Workload, models []fault
 		}
 		for ; cur.Model < len(ids); cur.Model, cur.Exec, cur.Sample = cur.Model+1, 0, 0 {
 			id := ids[cur.Model]
-			if id == faultmodel.GlobalControl {
-				// Modeled as always failing: Prob_SWmask = 0.
-				for ; cur.Sample < mine; cur.Sample++ {
-					if err := checkpointable(cur); err != nil {
-						return err
-					}
-					sh.experiments++
-					sh.masked[id].Add(false)
-					if tel != nil {
-						tel.RecordExperiment(id.String(), inject.SystemAnomaly.String())
-					}
-				}
-				continue
-			}
-			if opts.PerLayer {
-				for ; cur.Exec < inj.Executions(); cur.Exec, cur.Sample = cur.Exec+1, 0 {
+			// Global-control faults are modeled as always failing and never
+			// pinned to a layer, so they take the flat loop in both modes.
+			if opts.PerLayer && id != faultmodel.GlobalControl {
+				for ; cur.Exec < nexec; cur.Exec, cur.Sample = cur.Exec+1, 0 {
 					for ; cur.Sample < mine; cur.Sample++ {
-						if err := checkpointable(cur); err != nil {
+						if err := sh.step(ctx, cur, id, cur.Exec); err != nil {
 							return err
 						}
-						r, err := inj.RunAt(ctx, cur.Exec, id, opts.Tolerance)
-						if err != nil {
-							return err
-						}
-						record(cur.Exec, id, r)
 					}
 				}
 				continue
 			}
 			for ; cur.Sample < mine; cur.Sample++ {
-				if err := checkpointable(cur); err != nil {
+				if err := sh.step(ctx, cur, id, -1); err != nil {
 					return err
 				}
-				r, err := inj.Run(ctx, id, opts.Tolerance)
-				if err != nil {
-					return err
-				}
-				record(-1, id, r)
 			}
 		}
 	}
@@ -373,9 +553,10 @@ func (sh *shardState) run(ctx context.Context, w *model.Workload, models []fault
 
 // assembleCheckpoint collects every shard's last published snapshot into one
 // resumable campaign checkpoint.
-func assembleCheckpoint(w *model.Workload, opts StudyOptions, states []*shardState) *Checkpoint {
+func assembleCheckpoint(cfg *accel.Config, w *model.Workload, opts StudyOptions, states []*shardState) *Checkpoint {
 	cp := &Checkpoint{
 		Version:   checkpointVersion,
+		Config:    cfg.Fingerprint(),
 		Workload:  w.Net.Name(),
 		Precision: w.Net.Precision.String(),
 		Tolerance: opts.Tolerance,
@@ -388,6 +569,7 @@ func assembleCheckpoint(w *model.Workload, opts StudyOptions, states []*shardSta
 	for _, sh := range states {
 		sc := sh.snapshot()
 		cp.Experiments += sc.Experiments
+		cp.Quarantined += len(sc.Quarantine)
 		cp.Shard = append(cp.Shard, sc)
 	}
 	return cp
@@ -453,11 +635,11 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 	shards := opts.shards()
 	states := make([]*shardState, shards)
 	resume := opts.Resume
-	if resume != nil && !resume.Matches(w, opts, shards) {
+	if resume != nil && !resume.Matches(cfg, w, opts, shards) {
 		resume = nil
 	}
 	for s := range states {
-		states[s] = newShardState(s, shardSeed(opts.Seed, s))
+		states[s] = newShardState(s, shardSeed(opts.Seed, s), w, models, opts)
 		if resume != nil {
 			states[s].restore(resume.Shard[s])
 		}
@@ -477,7 +659,7 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 				case <-t.C:
 					// Best-effort: a failed periodic save must not kill the
 					// campaign; the on-cancel save reports errors.
-					_ = assembleCheckpoint(w, opts, states).Save(opts.CheckpointPath)
+					_ = saveCheckpoint(assembleCheckpoint(cfg, w, opts, states), opts.CheckpointPath, opts)
 				case <-stop:
 					return
 				}
@@ -506,7 +688,7 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 				if sh.done {
 					continue
 				}
-				sh.err = sh.run(ctx, w, models, opts)
+				sh.err = sh.run(ctx)
 			}
 		}()
 	}
@@ -525,9 +707,11 @@ feed:
 	phaseEnd(tel, "inject")
 	stopSaver()
 
-	interrupted := false
+	interrupted, partial := false, false
 	for _, sh := range states {
 		switch {
+		case errors.Is(sh.err, errShardExhausted):
+			partial = true // the shard degraded but its published state is consistent
 		case sh.err == nil && !sh.done:
 			interrupted = true // never started before cancellation
 		case sh.err != nil && isCancellation(sh.err):
@@ -537,16 +721,22 @@ feed:
 		}
 	}
 	if interrupted {
-		cp := assembleCheckpoint(w, opts, states)
+		cp := assembleCheckpoint(cfg, w, opts, states)
 		path := ""
 		if opts.CheckpointPath != "" {
-			if err := cp.Save(opts.CheckpointPath); err != nil {
+			if err := saveCheckpoint(cp, opts.CheckpointPath, opts); err != nil {
 				return nil, fmt.Errorf("campaign: interrupted, and saving the checkpoint failed: %w", err)
 			}
 			path = opts.CheckpointPath
 		}
 		return nil, &Interrupted{Checkpoint: cp, Path: path, Cause: context.Cause(ctx)}
 	}
+	if partial && opts.CheckpointPath != "" {
+		// Best-effort: the partial result is flagged either way, and the
+		// checkpoint lets a later run (with the failure fixed) complete it.
+		_ = saveCheckpoint(assembleCheckpoint(cfg, w, opts, states), opts.CheckpointPath, opts)
+	}
+	res.Partial = partial
 
 	// Aggregate the shard tallies. Integer sums commute, so the aggregate is
 	// independent of both worker scheduling and shard order.
@@ -576,7 +766,15 @@ feed:
 		res.Perturb.LargeFail.Successes += sh.perturb.LargeFail.Successes
 		res.Perturb.LargeFail.Trials += sh.perturb.LargeFail.Trials
 		res.Experiments += sh.experiments
+		res.Quarantined = append(res.Quarantined, sh.quarantine...)
 	}
+	sort.Slice(res.Quarantined, func(i, j int) bool {
+		a, b := res.Quarantined[i], res.Quarantined[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Cursor.before(b.Cursor)
+	})
 
 	// Assemble Eq. 2 inputs: per-layer activeness and exec time from the
 	// performance model, masking probabilities from the campaign aggregate.

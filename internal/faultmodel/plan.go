@@ -109,6 +109,15 @@ func (s *Sampler) State() SamplerState {
 	return SamplerState{Seed: s.seed, Draws: s.src.draws}
 }
 
+// Reseed repositions the sampler at the start of a fresh stream without
+// rebuilding the model tables. Campaigns call it before every experiment to
+// give each one an independent, cursor-derived stream: a panicking or hung
+// experiment then cannot perturb the draws of any other experiment.
+func (s *Sampler) Reseed(seed int64) {
+	s.seed = seed
+	s.src.Seed(seed)
+}
+
 // RF returns the CBUF→MAC reuse factor of the sampled design.
 func (s *Sampler) RF() int { return s.rf }
 

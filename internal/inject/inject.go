@@ -27,6 +27,12 @@ const (
 	OutputError
 	// SystemAnomaly: time-out or hang (global-control faults).
 	SystemAnomaly
+	// FrameworkFault: the experiment did not produce an application outcome
+	// because the injection framework itself failed — a panic in the
+	// recompute path or a watchdog-killed hang. It is a harness outcome, not
+	// a hardware one: the campaign supervisor quarantines the experiment and
+	// excludes it from the Prob_SWmask statistics Eq. 2 consumes.
+	FrameworkFault
 )
 
 // String names the outcome.
@@ -38,6 +44,8 @@ func (o Outcome) String() string {
 		return "output-error"
 	case SystemAnomaly:
 		return "system-anomaly"
+	case FrameworkFault:
+		return "framework-fault"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}

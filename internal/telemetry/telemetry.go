@@ -15,9 +15,16 @@ import (
 // Outcome labels matching inject.Outcome.String(); telemetry stays decoupled
 // from the inject package by counting on the string form.
 const (
-	OutcomeMasked        = "masked"
-	OutcomeOutputError   = "output-error"
-	OutcomeSystemAnomaly = "system-anomaly"
+	OutcomeMasked         = "masked"
+	OutcomeOutputError    = "output-error"
+	OutcomeSystemAnomaly  = "system-anomaly"
+	OutcomeFrameworkFault = "framework-fault"
+)
+
+// Quarantine reason labels matching the campaign supervisor's.
+const (
+	ReasonPanic   = "panic"
+	ReasonTimeout = "timeout"
 )
 
 // Collector aggregates campaign progress. The zero value is not usable; call
@@ -30,11 +37,23 @@ type Collector struct {
 	mu     sync.Mutex
 	phases []*phaseTiming // in first-start order
 	byName map[string]*phaseTiming
+
+	// Recovery counters: the supervision layer's record of framework-level
+	// failures it survived during the campaign.
+	panics, timeouts, ioRetries, quarantined atomic.Int64
+	shardBudgets                             sync.Map // shard index (int) -> *shardBudget
 }
 
 // Outcomes tallies experiment classifications for one fault model.
 type Outcomes struct {
-	Masked, OutputError, SystemAnomaly, Other atomic.Int64
+	Masked, OutputError, SystemAnomaly, FrameworkFault, Other atomic.Int64
+}
+
+// shardBudget is one shard's live failure-budget state.
+type shardBudget struct {
+	failures  atomic.Int64
+	budget    atomic.Int64
+	exhausted atomic.Bool
 }
 
 type phaseTiming struct {
@@ -66,6 +85,8 @@ func (c *Collector) RecordExperiment(model, outcome string) {
 		t.OutputError.Add(1)
 	case OutcomeSystemAnomaly:
 		t.SystemAnomaly.Add(1)
+	case OutcomeFrameworkFault:
+		t.FrameworkFault.Add(1)
 	default:
 		t.Other.Add(1)
 	}
@@ -73,6 +94,37 @@ func (c *Collector) RecordExperiment(model, outcome string) {
 
 // Experiments returns the total experiments recorded so far.
 func (c *Collector) Experiments() int64 { return c.experiments.Load() }
+
+// RecordQuarantine counts one experiment the campaign supervisor removed
+// from the study after a framework-level failure. reason is ReasonPanic or
+// ReasonTimeout.
+func (c *Collector) RecordQuarantine(shard int, reason string) {
+	c.quarantined.Add(1)
+	switch reason {
+	case ReasonPanic:
+		c.panics.Add(1)
+	case ReasonTimeout:
+		c.timeouts.Add(1)
+	}
+}
+
+// RecordIORetry counts one retried transient I/O failure (checkpoint or
+// manifest write).
+func (c *Collector) RecordIORetry() { c.ioRetries.Add(1) }
+
+// SetShardBudget publishes one shard's failure-budget state: quarantines
+// charged so far, the budget limit (negative = unlimited), and whether the
+// shard stopped after exhausting it.
+func (c *Collector) SetShardBudget(shard, failures, budget int, exhausted bool) {
+	v, ok := c.shardBudgets.Load(shard)
+	if !ok {
+		v, _ = c.shardBudgets.LoadOrStore(shard, &shardBudget{})
+	}
+	b := v.(*shardBudget)
+	b.failures.Store(int64(failures))
+	b.budget.Store(int64(budget))
+	b.exhausted.Store(exhausted)
+}
 
 // StartPhase begins (or re-enters) timing a named phase. Phases may be
 // entered repeatedly — e.g. one "inject" phase accumulated across the cells
@@ -110,15 +162,34 @@ func (c *Collector) EndPhase(name string) {
 
 // OutcomeCounts is the immutable snapshot form of Outcomes.
 type OutcomeCounts struct {
-	Masked        int64 `json:"masked"`
-	OutputError   int64 `json:"output_error"`
-	SystemAnomaly int64 `json:"system_anomaly"`
-	Other         int64 `json:"other,omitempty"`
+	Masked         int64 `json:"masked"`
+	OutputError    int64 `json:"output_error"`
+	SystemAnomaly  int64 `json:"system_anomaly"`
+	FrameworkFault int64 `json:"framework_fault,omitempty"`
+	Other          int64 `json:"other,omitempty"`
 }
 
 // Total sums all outcome classes.
 func (o OutcomeCounts) Total() int64 {
-	return o.Masked + o.OutputError + o.SystemAnomaly + o.Other
+	return o.Masked + o.OutputError + o.SystemAnomaly + o.FrameworkFault + o.Other
+}
+
+// ShardBudgetState is one shard's failure-budget snapshot.
+type ShardBudgetState struct {
+	Shard     int   `json:"shard"`
+	Failures  int64 `json:"failures"`
+	Budget    int64 `json:"budget"` // negative = unlimited
+	Exhausted bool  `json:"exhausted,omitempty"`
+}
+
+// RecoverySnapshot reports the supervision layer's recovery counters:
+// framework failures survived (and quarantined) rather than crashed on.
+type RecoverySnapshot struct {
+	Quarantined     int64              `json:"quarantined"`
+	PanicsRecovered int64              `json:"panics_recovered"`
+	Timeouts        int64              `json:"timeouts"`
+	IORetries       int64              `json:"io_retries"`
+	Shards          []ShardBudgetState `json:"shards,omitempty"` // shards with failures, ascending
 }
 
 // PhaseSnapshot reports one phase's accumulated wall-clock time.
@@ -136,6 +207,10 @@ type Snapshot struct {
 	PerSec      float64                  `json:"experiments_per_sec"`
 	Models      map[string]OutcomeCounts `json:"models,omitempty"`
 	Phases      []PhaseSnapshot          `json:"phases,omitempty"`
+	// Recovery is present only when the campaign survived at least one
+	// framework failure or retried an I/O operation, so clean-run snapshots
+	// are unchanged.
+	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
 }
 
 // Snapshot captures the current counters. Model keys are sorted into a map
@@ -153,15 +228,36 @@ func (c *Collector) Snapshot() Snapshot {
 	c.models.Range(func(k, v any) bool {
 		t := v.(*Outcomes)
 		models[k.(string)] = OutcomeCounts{
-			Masked:        t.Masked.Load(),
-			OutputError:   t.OutputError.Load(),
-			SystemAnomaly: t.SystemAnomaly.Load(),
-			Other:         t.Other.Load(),
+			Masked:         t.Masked.Load(),
+			OutputError:    t.OutputError.Load(),
+			SystemAnomaly:  t.SystemAnomaly.Load(),
+			FrameworkFault: t.FrameworkFault.Load(),
+			Other:          t.Other.Load(),
 		}
 		return true
 	})
 	if len(models) > 0 {
 		s.Models = models
+	}
+	rec := RecoverySnapshot{
+		Quarantined:     c.quarantined.Load(),
+		PanicsRecovered: c.panics.Load(),
+		Timeouts:        c.timeouts.Load(),
+		IORetries:       c.ioRetries.Load(),
+	}
+	c.shardBudgets.Range(func(k, v any) bool {
+		b := v.(*shardBudget)
+		rec.Shards = append(rec.Shards, ShardBudgetState{
+			Shard:     k.(int),
+			Failures:  b.failures.Load(),
+			Budget:    b.budget.Load(),
+			Exhausted: b.exhausted.Load(),
+		})
+		return true
+	})
+	sort.Slice(rec.Shards, func(i, j int) bool { return rec.Shards[i].Shard < rec.Shards[j].Shard })
+	if rec.Quarantined > 0 || rec.IORetries > 0 || len(rec.Shards) > 0 {
+		s.Recovery = &rec
 	}
 	c.mu.Lock()
 	for _, p := range c.phases {

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -92,6 +93,76 @@ func TestSnapshotJSON(t *testing.T) {
 	}
 }
 
+// TestRecoveryCounters: the supervision layer's quarantine, retry, and
+// failure-budget counters must surface in the snapshot — and only when the
+// campaign actually survived something, so clean-run snapshots are unchanged.
+func TestRecoveryCounters(t *testing.T) {
+	c := New()
+	if c.Snapshot().Recovery != nil {
+		t.Fatal("clean collector carries a recovery snapshot")
+	}
+
+	c.RecordExperiment("local-control", OutcomeFrameworkFault)
+	c.RecordQuarantine(3, ReasonPanic)
+	c.RecordQuarantine(3, ReasonPanic)
+	c.RecordQuarantine(7, ReasonTimeout)
+	c.RecordIORetry()
+	c.SetShardBudget(7, 1, 16, false)
+	c.SetShardBudget(3, 2, 16, false)
+	c.SetShardBudget(3, 3, 2, true)
+
+	s := c.Snapshot()
+	if s.Models["local-control"].FrameworkFault != 1 {
+		t.Errorf("framework-fault outcome tally: %+v", s.Models["local-control"])
+	}
+	if got := s.Models["local-control"].Total(); got != 1 {
+		t.Errorf("framework faults excluded from Total: %d", got)
+	}
+	rec := s.Recovery
+	if rec == nil {
+		t.Fatal("recovery snapshot missing after quarantines")
+	}
+	if rec.Quarantined != 3 || rec.PanicsRecovered != 2 || rec.Timeouts != 1 || rec.IORetries != 1 {
+		t.Errorf("recovery counters: %+v", rec)
+	}
+	if len(rec.Shards) != 2 || rec.Shards[0].Shard != 3 || rec.Shards[1].Shard != 7 {
+		t.Fatalf("shard budget states not sorted ascending: %+v", rec.Shards)
+	}
+	if s3 := rec.Shards[0]; s3.Failures != 3 || s3.Budget != 2 || !s3.Exhausted {
+		t.Errorf("shard 3 budget state (last write wins): %+v", s3)
+	}
+	if s7 := rec.Shards[1]; s7.Failures != 1 || s7.Budget != 16 || s7.Exhausted {
+		t.Errorf("shard 7 budget state: %+v", s7)
+	}
+}
+
+// TestRecoveryJSON: the recovery block must round-trip through JSON and be
+// omitted entirely from clean snapshots.
+func TestRecoveryJSON(t *testing.T) {
+	c := New()
+	c.RecordExperiment("m", OutcomeMasked)
+	blob, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes := string(blob); strings.Contains(bytes, "recovery") {
+		t.Errorf("clean snapshot serializes a recovery block: %s", bytes)
+	}
+
+	c.RecordQuarantine(0, ReasonTimeout)
+	blob, err = json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Recovery == nil || back.Recovery.Timeouts != 1 || back.Recovery.Quarantined != 1 {
+		t.Errorf("recovery round trip: %+v", back.Recovery)
+	}
+}
+
 // Concurrent recording from many goroutines with snapshots interleaved —
 // exercised under -race in CI.
 func TestConcurrentRecording(t *testing.T) {
@@ -105,6 +176,9 @@ func TestConcurrentRecording(t *testing.T) {
 				c.RecordExperiment("m", OutcomeMasked)
 				if i%100 == 0 {
 					c.StartPhase("p")
+					c.RecordQuarantine(g, ReasonPanic)
+					c.RecordIORetry()
+					c.SetShardBudget(g, i/100+1, 16, false)
 					c.Snapshot()
 					c.EndPhase("p")
 				}
