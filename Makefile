@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race chaos bench fmt vet ci
+.PHONY: build test race chaos bench bench-json fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,14 @@ chaos:
 # One iteration of every benchmark — smoke, not measurement.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Measure the replay-vs-full injection benchmark and export it as a
+# benchstat-compatible JSON artifact (per-workload ns/op + allocs/op,
+# speedups, and the CNN-zoo geomean). CI uploads BENCH_inject.json.
+bench-json:
+	$(GO) test -run '^$$' -bench '^BenchmarkInjectionReplay$$' -benchmem . > bench_inject.txt
+	$(GO) run ./cmd/benchjson -o BENCH_inject.json < bench_inject.txt
+	@rm -f bench_inject.txt
 
 fmt:
 	@diff=$$(gofmt -l .); \

@@ -16,6 +16,7 @@ package fidelity
 //	BenchmarkSpeedup      — Sec. VI per-injection cost comparison
 //	BenchmarkBaseline     — Sec. VI naive-FI underestimate
 //	BenchmarkInjection    — single software fault injection (the unit of the 46M study)
+//	BenchmarkInjectionReplay — incremental golden-replay vs full forward per workload
 //	BenchmarkRTLInjection — single cycle-level injection (the golden reference unit)
 //	BenchmarkAblation*    — design-choice ablations (see DESIGN.md §5)
 
@@ -295,6 +296,86 @@ func BenchmarkInjection(b *testing.B) {
 		if _, err := inj.Run(context.Background(), faultmodel.CBUFMACWeight, 0.1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchInjector builds a prepared injector for net with the replay engine on
+// or off, mirroring BenchmarkInjection's setup.
+func benchInjector(b *testing.B, net string, disableReplay bool) *inject.Injector {
+	b.Helper()
+	cfg := accel.NVDLASmall()
+	w, err := model.Build(net, numerics.FP16, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := faultmodel.Derive(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := faultmodel.NewSampler(models, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := inject.New(w, s)
+	inj.DisableReplay = disableReplay
+	x, err := dataset.Sample(w.Dataset, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := inj.Prepare(x); err != nil {
+		b.Fatal(err)
+	}
+	return inj
+}
+
+// BenchmarkInjectionReplay compares the per-experiment cost of the
+// incremental golden-replay engine against a full forward pass, across the
+// CNN zoo plus the masked-at-layer fast path (an injection whose fault is
+// absorbed before leaving the target layer, so replay executes no suffix at
+// all). `make bench-json` turns this benchmark into BENCH_inject.json with
+// per-workload speedups.
+func BenchmarkInjectionReplay(b *testing.B) {
+	modes := []struct {
+		name    string
+		disable bool
+	}{{"replay", false}, {"full", true}}
+	for _, net := range []string{"inception", "resnet", "mobilenet"} {
+		for _, mode := range modes {
+			b.Run(net+"/"+mode.name, func(b *testing.B) {
+				inj := benchInjector(b, net, mode.disable)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := inj.Run(context.Background(), faultmodel.CBUFMACWeight, 0.1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	// Pin the injection site to resnet's res2 projection shortcut — a 1x1
+	// stride-2 conv where most input elements fall off the stride lattice, so
+	// the reuse set is empty and the experiment masks at the layer. Replay
+	// returns without executing any downstream layer.
+	for _, mode := range modes {
+		b.Run("masked-at-layer/"+mode.name, func(b *testing.B) {
+			inj := benchInjector(b, "resnet", mode.disable)
+			idx := -1
+			for i := 0; i < inj.Executions(); i++ {
+				if inj.Execution(i).Site.Name() == "res2/proj" {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				b.Fatal("res2/proj execution not found")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inj.RunAt(context.Background(), idx, faultmodel.BeforeCBUFInput, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,185 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// benchstat-compatible JSON artifact (BENCH_inject.json in CI): per-benchmark
+// ns/op and allocs/op, plus full-forward-vs-replay speedups per workload and
+// their geomean across the CNN zoo.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '^BenchmarkInjectionReplay$' -benchmem . | benchjson -o BENCH_inject.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one measured `go test -bench` line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BPerOp     int64   `json:"b_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup is full-forward time over replay time for one workload.
+type Speedup struct {
+	Workload string  `json:"workload"`
+	ReplayNs float64 `json:"replay_ns_per_op"`
+	FullNs   float64 `json:"full_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// Report is the BENCH_inject.json schema.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups covers BenchmarkInjectionReplay workloads that measured both
+	// a /replay and a /full variant.
+	Speedups []Speedup `json:"speedups,omitempty"`
+	// GeomeanSpeedup is the geometric mean over the CNN-zoo workloads
+	// (masked-at-layer is a fast-path microbenchmark and reported
+	// separately, not averaged in).
+	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
+	// MaskedSpeedup is the masked-at-layer fast-path speedup.
+	MaskedSpeedup float64 `json:"masked_at_layer_speedup,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := parse(bufio.NewScanner(os.Stdin))
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s", len(rep.Benchmarks), *out)
+	if rep.GeomeanSpeedup > 0 {
+		fmt.Fprintf(os.Stderr, " (geomean replay speedup %.2fx", rep.GeomeanSpeedup)
+		if rep.MaskedSpeedup > 0 {
+			fmt.Fprintf(os.Stderr, ", masked-at-layer %.2fx", rep.MaskedSpeedup)
+		}
+		fmt.Fprint(os.Stderr, ")")
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func parse(sc *bufio.Scanner) Report {
+	var rep Report
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := Benchmark{Name: m[1]}
+		b.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		b.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			b.BPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	rep.Speedups, rep.GeomeanSpeedup, rep.MaskedSpeedup = speedups(rep.Benchmarks)
+	return rep
+}
+
+// speedups pairs BenchmarkInjectionReplay/<workload>/{replay,full} rows.
+// Sub-benchmark names carry a -<GOMAXPROCS> suffix that must be stripped.
+func speedups(benchmarks []Benchmark) ([]Speedup, float64, float64) {
+	type pair struct{ replay, full float64 }
+	pairs := map[string]*pair{}
+	var order []string
+	for _, b := range benchmarks {
+		rest, ok := strings.CutPrefix(b.Name, "BenchmarkInjectionReplay/")
+		if !ok {
+			continue
+		}
+		if i := strings.LastIndex(rest, "-"); i > strings.LastIndex(rest, "/") {
+			rest = rest[:i] // trim the -<GOMAXPROCS> suffix
+		}
+		workload, mode, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		p := pairs[workload]
+		if p == nil {
+			p = &pair{}
+			pairs[workload] = p
+			order = append(order, workload)
+		}
+		switch mode {
+		case "replay":
+			p.replay = b.NsPerOp
+		case "full":
+			p.full = b.NsPerOp
+		}
+	}
+	var out []Speedup
+	var masked float64
+	logSum, n := 0.0, 0
+	for _, w := range order {
+		p := pairs[w]
+		if p.replay <= 0 || p.full <= 0 {
+			continue
+		}
+		s := Speedup{Workload: w, ReplayNs: p.replay, FullNs: p.full, Speedup: p.full / p.replay}
+		out = append(out, s)
+		if w == "masked-at-layer" {
+			masked = s.Speedup
+			continue
+		}
+		logSum += math.Log(s.Speedup)
+		n++
+	}
+	var geo float64
+	if n > 0 {
+		geo = math.Exp(logSum / float64(n))
+	}
+	return out, geo, masked
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

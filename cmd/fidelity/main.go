@@ -161,6 +161,7 @@ func sensitivity(ctx context.Context, args []string) error {
 	actDelta := fs.Float64("act", 0.2, "relative uncertainty of the activeness estimates")
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = off)")
 	failBudget := fs.Int("failure-budget", 0, "max quarantined experiments per shard (0 = default, negative = unlimited)")
+	noReplay := fs.Bool("no-replay", false, "disable the incremental golden-replay engine (bit-identical results, slower)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,6 +173,7 @@ func sensitivity(ctx context.Context, args []string) error {
 	res, err := fw.Analyze(ctx, *net, numerics.FP16, campaign.StudyOptions{
 		Samples: *samples, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
 		ExperimentTimeout: *expTimeout, FailureBudget: *failBudget,
+		DisableReplay: *noReplay,
 	})
 	if err != nil {
 		return err

@@ -71,6 +71,7 @@ func main() {
 	failBudget := flag.Int("failure-budget", 0, "max quarantined experiments per shard before the study degrades to a partial result (0 = default, negative = unlimited)")
 	ioRetries := flag.Int("io-retries", 0, "retries for transient checkpoint/manifest write failures (0 = default)")
 	ioBackoff := flag.Duration("io-backoff", 0, "initial backoff between I/O retries, doubling per attempt (0 = default)")
+	noReplay := flag.Bool("no-replay", false, "disable the incremental golden-replay engine and run every experiment as a full forward pass (bit-identical results, slower)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the campaign context; workers stop at an
@@ -96,6 +97,7 @@ func main() {
 			FailureBudget:      *failBudget,
 			IORetries:          *ioRetries,
 			IOBackoff:          *ioBackoff,
+			DisableReplay:      *noReplay,
 		},
 	}
 	r.opts.Telemetry = r.tel

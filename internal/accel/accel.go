@@ -166,6 +166,10 @@ func (c Category) String() string {
 	}
 }
 
+// MarshalText lets Category key JSON maps (the per-category FIT breakdowns),
+// using the Table II row label.
+func (c Category) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
 // FFGroup is one census row: a category, the component it lives in, and the
 // fraction of the design's FFs it contains, plus the sub-fractions that the
 // activeness analysis needs.

@@ -1,0 +1,173 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/faultmodel"
+	"fidelity/internal/inject"
+	"fidelity/internal/model"
+	"fidelity/internal/numerics"
+	"fidelity/internal/telemetry"
+)
+
+// The differential equivalence suite for the incremental golden-replay
+// engine. Replay must be a pure performance optimization: every StudyResult
+// and checkpoint it produces must be byte-identical to the full-forward
+// path's, for every zoo topology (sequential CNNs, inception branches,
+// residual shortcuts, attention DAGs, LSTM revisits) at every datapath
+// precision.
+
+var replayPrecisions = []numerics.Precision{numerics.FP16, numerics.INT16, numerics.INT8}
+
+// TestReplayDifferentialZoo runs the same small study with replay on and off
+// for every zoo network × precision and requires byte-identical StudyResult
+// JSON (tallies, CIs, FIT bounds, perturbation stats — everything).
+func TestReplayDifferentialZoo(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	for _, name := range model.Names() {
+		for _, prec := range replayPrecisions {
+			t.Run(name+"/"+prec.String(), func(t *testing.T) {
+				w, err := model.Build(name, prec, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := StudyOptions{Samples: 5, Inputs: 1, Tolerance: 0.1, Seed: 7, Workers: 4}
+				on, err := Study(context.Background(), cfg, w, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.DisableReplay = true
+				off, err := Study(context.Background(), cfg, w, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireEqualResults(t, "replay on vs off", on, off)
+				bon, err := json.Marshal(on)
+				if err != nil {
+					t.Fatal(err)
+				}
+				boff, err := json.Marshal(off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(bon, boff) {
+					t.Errorf("StudyResult JSON differs between replay on and off:\non:  %s\noff: %s", bon, boff)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayCheckpointIdentity interrupts the same campaign deterministically
+// with replay on and with replay off, requires the two checkpoints to be
+// byte-identical, and then cross-resumes each checkpoint under the opposite
+// replay mode — both must reproduce the uninterrupted result exactly.
+func TestReplayCheckpointIdentity(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 160, Inputs: 2, Tolerance: 0.1, Seed: 13, Workers: 1}
+
+	baseline, err := Study(context.Background(), cfg, w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers=1 plus a synchronous per-experiment observer makes the
+	// interruption point exact: both modes stop after the same experiments.
+	interrupt := func(disable bool) *Checkpoint {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		opts := base
+		opts.DisableReplay = disable
+		count := 0
+		opts.observe = func(int, Cursor, faultmodel.ID, inject.Result) {
+			if count++; count == 100 {
+				cancel()
+			}
+		}
+		_, err := Study(ctx, cfg, w, opts)
+		var intr *Interrupted
+		if !errors.As(err, &intr) {
+			t.Fatalf("disable=%v: interrupted study returned %v, want *Interrupted", disable, err)
+		}
+		return intr.Checkpoint
+	}
+	cpOn := interrupt(false)
+	cpOff := interrupt(true)
+	bOn, err := json.Marshal(cpOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOff, err := json.Marshal(cpOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bOn, bOff) {
+		t.Errorf("checkpoints differ between replay modes:\non:  %s\noff: %s", bOn, bOff)
+	}
+
+	// DisableReplay is deliberately not part of the checkpoint identity:
+	// resuming under the opposite mode must finish to the same result.
+	resume := func(label string, cp *Checkpoint, disable bool) {
+		t.Helper()
+		opts := base
+		opts.DisableReplay = disable
+		opts.Resume = cp
+		res, err := Study(context.Background(), cfg, w, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		requireEqualResults(t, label, baseline, res)
+	}
+	resume("replay-on checkpoint resumed with replay off", cpOn, true)
+	resume("replay-off checkpoint resumed with replay on", cpOff, false)
+}
+
+// TestReplayTelemetryPresence checks the nil-when-disabled contract of the
+// telemetry Replay block: present (with sane ratios) when the replay engine
+// ran, absent entirely when it was disabled.
+func TestReplayTelemetryPresence(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 12, Inputs: 1, Tolerance: 0.1, Seed: 3}
+
+	tel := telemetry.New()
+	opts := base
+	opts.Telemetry = tel
+	if _, err := Study(context.Background(), cfg, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	rep := tel.Snapshot().Replay
+	if rep == nil {
+		t.Fatal("replay-enabled study produced no telemetry Replay block")
+	}
+	if rep.LayersSkipped <= 0 {
+		t.Errorf("LayersSkipped = %d, want > 0", rep.LayersSkipped)
+	}
+	if rep.CacheHitRatio <= 0 || rep.CacheHitRatio > 1 {
+		t.Errorf("CacheHitRatio = %v, want in (0, 1]", rep.CacheHitRatio)
+	}
+	if rep.ArenaReuses <= 0 {
+		t.Errorf("ArenaReuses = %d, want > 0", rep.ArenaReuses)
+	}
+	if rep.MACsAvoidedEst <= 0 {
+		t.Errorf("MACsAvoidedEst = %v, want > 0", rep.MACsAvoidedEst)
+	}
+
+	tel = telemetry.New()
+	opts = base
+	opts.Telemetry = tel
+	opts.DisableReplay = true
+	if _, err := Study(context.Background(), cfg, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Snapshot().Replay; got != nil {
+		t.Errorf("replay-disabled study produced a telemetry Replay block: %+v", got)
+	}
+}

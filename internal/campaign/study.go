@@ -86,6 +86,12 @@ type StudyOptions struct {
 	// select DefaultIORetries and DefaultIOBackoff.
 	IORetries int
 	IOBackoff time.Duration
+	// DisableReplay forces every experiment through the legacy full forward
+	// pass instead of the incremental golden-replay engine. Results are
+	// bit-identical either way (the replay engine's correctness bar), so the
+	// flag is NOT part of a study's checkpoint identity: a checkpoint taken
+	// with replay on may be resumed with replay off and vice versa.
+	DisableReplay bool
 
 	// chaos is the test-only failure injector of the chaos self-test
 	// harness; always nil in production.
@@ -338,6 +344,9 @@ func (sh *shardState) record(layer int, id faultmodel.ID, r inject.Result) {
 	}
 	if tel := sh.opts.Telemetry; tel != nil {
 		tel.RecordExperiment(id.String(), r.Outcome.String())
+		if r.Replay != nil {
+			tel.RecordReplay(r.Replay.Skipped, r.Replay.Recomputed, r.Replay.ArenaReuses, r.Replay.MACsAvoided)
+		}
 	}
 }
 
@@ -362,6 +371,7 @@ func (sh *shardState) ensureInjector() error {
 	}
 	if sh.inj == nil {
 		inj := inject.New(sh.w, sh.sampler)
+		inj.DisableReplay = sh.opts.DisableReplay
 		if err := inj.Prepare(sh.input); err != nil {
 			return err
 		}

@@ -54,6 +54,23 @@ func (o Outcome) String() string {
 // Failed reports whether the outcome counts as a system failure in Eq. 2.
 func (o Outcome) Failed() bool { return o != Masked }
 
+// ReplayCost reports what the incremental replay engine did during one
+// experiment's forward pass. Nil on Results produced by the full-forward
+// path (replay disabled, or global-control shortcuts that run no forward).
+type ReplayCost struct {
+	// Skipped counts layer executions served from the golden trace.
+	Skipped int
+	// Recomputed counts layer executions in the fault's downstream cone.
+	Recomputed int
+	// Converged counts recomputed executions whose output matched golden
+	// again, re-enabling skips downstream.
+	Converged int
+	// MACsAvoided estimates the MAC work of skipped site executions.
+	MACsAvoided float64
+	// ArenaReuses counts output buffers recycled instead of allocated.
+	ArenaReuses int64
+}
+
 // Result records one experiment.
 type Result struct {
 	Outcome Outcome
@@ -67,6 +84,9 @@ type Result struct {
 	MaxPerturbation float64
 	// Score is the application quality score vs. the golden output.
 	Score float64
+	// Replay carries the replay engine's per-experiment savings, nil when
+	// the experiment ran the full forward pass.
+	Replay *ReplayCost
 }
 
 // Injector runs fault-injection experiments against one workload.
@@ -74,12 +94,22 @@ type Injector struct {
 	W       *model.Workload
 	Sampler *faultmodel.Sampler
 
+	// DisableReplay forces every experiment through the legacy full forward
+	// pass. The replay engine is bit-identical to it; the switch exists for
+	// differential testing and as an operational escape hatch.
+	DisableReplay bool
+
 	// cached golden state per input
 	input   *tensor.Tensor
 	golden  model.AppOutput
 	execs   []nn.SiteExecution
 	weights []float64
 	total   float64
+
+	// replay state (nil when DisableReplay)
+	trace *nn.GoldenTrace
+	arena *nn.Arena
+	rctx  *nn.Context
 }
 
 // New builds an injector for workload w with sampler s.
@@ -87,10 +117,22 @@ func New(w *model.Workload, s *faultmodel.Sampler) *Injector {
 	return &Injector{W: w, Sampler: s}
 }
 
-// Prepare runs the golden inference for input x and caches the trace. Must
-// be called before Run; call again to switch inputs.
+// Prepare runs the golden inference for input x and caches the trace —
+// including, unless DisableReplay is set, the golden output tensor of every
+// layer execution, which subsequent Runs replay incrementally instead of
+// recomputing the full network. Must be called before Run; call again to
+// switch inputs.
 func (in *Injector) Prepare(x *tensor.Tensor) error {
-	out, execs := in.W.Net.Trace(x)
+	var out *tensor.Tensor
+	var execs []nn.SiteExecution
+	if in.DisableReplay {
+		out, execs = in.W.Net.Trace(x)
+		in.trace, in.arena, in.rctx = nil, nil, nil
+	} else {
+		out, execs, in.trace = in.W.Net.TraceWithActivations(x)
+		in.arena = nn.NewArena()
+		in.rctx = nn.NewReplayContext(in.trace, in.arena)
+	}
 	if len(execs) == 0 {
 		return fmt.Errorf("inject: workload %s has no injection sites", in.W.Net.Name())
 	}
@@ -102,6 +144,9 @@ func (in *Injector) Prepare(x *tensor.Tensor) error {
 	for i, e := range in.execs {
 		in.weights[i] = execWork(e)
 		in.total += in.weights[i]
+		if in.trace != nil {
+			in.trace.SetWork(e.Site, e.Visit, in.weights[i])
+		}
 	}
 	return nil
 }
@@ -149,6 +194,9 @@ func (in *Injector) Golden() model.AppOutput { return in.golden }
 // prepared input.
 func (in *Injector) Executions() int { return len(in.execs) }
 
+// Execution returns the i-th recorded site execution.
+func (in *Injector) Execution(i int) nn.SiteExecution { return in.execs[i] }
+
 // Run executes one experiment: sample a fault of model id at a work-weighted
 // site execution, inject it, and classify the outcome under tolerance tol.
 // A single experiment is the cancellation atom: ctx is checked once on
@@ -194,17 +242,43 @@ func (in *Injector) run(ctx context.Context, id faultmodel.ID, tol float64, exec
 	var plan *faultmodel.Plan
 	var changes []faultmodel.Change
 	var planErr error
-	out := in.W.Net.ForwardWithHook(in.input, func(site nn.Layer, visit int, op *nn.Operands) {
+	var fctx *nn.Context
+	hook := func(site nn.Layer, visit int, op *nn.Operands) {
 		s, ok := site.(nn.Site)
 		if !ok || s != target.Site || visit != target.Visit || planErr != nil || plan != nil {
 			return
 		}
+		// One experiment injects exactly once: detach the hook so the rest
+		// of the traversal stops paying for dispatch and visit re-checks.
+		defer fctx.Detach()
 		plan, planErr = in.Sampler.Plan(id, s, visit, op)
 		if planErr != nil {
 			return
 		}
 		changes = faultmodel.Apply(plan, s, op)
-	})
+	}
+	var out *tensor.Tensor
+	if in.rctx != nil {
+		// Incremental replay: reclaim last experiment's buffers (also after
+		// a recovered panic mid-pass), arm the target, and let the context
+		// serve golden tensors for everything outside the fault's cone.
+		in.arena.Reset()
+		arenaBase := in.arena.Reuses()
+		fctx = in.rctx
+		fctx.SetTarget(target.Site, target.Visit, hook)
+		out = in.W.Net.ForwardWithContext(in.input, fctx)
+		st := fctx.Stats()
+		res.Replay = &ReplayCost{
+			Skipped:     st.Skipped,
+			Recomputed:  st.Recomputed,
+			Converged:   st.Converged,
+			MACsAvoided: st.MACsAvoided,
+			ArenaReuses: in.arena.Reuses() - arenaBase,
+		}
+	} else {
+		fctx = nn.NewContext(hook)
+		out = in.W.Net.ForwardWithContext(in.input, fctx)
+	}
 	if planErr != nil {
 		return Result{}, planErr
 	}

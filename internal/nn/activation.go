@@ -21,8 +21,14 @@ func (l *Activation) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *Activation) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	out := x.Map(func(v float32) float32 { return l.codec.Round(l.f(v)) })
-	return out
+	return ctx.exec(l, func() *tensor.Tensor {
+		out := ctx.newTensor(x.Shape()...)
+		od, xd := out.Data(), x.Data()
+		for i, v := range xd {
+			od[i] = l.codec.Round(l.f(v))
+		}
+		return out
+	}, nil, x)
 }
 
 // NewReLU builds a rectified linear activation. ReLU is the dominant masking
@@ -111,5 +117,7 @@ func (l *SoftmaxLayer) Name() string { return l.name }
 
 // Forward implements Layer.
 func (l *SoftmaxLayer) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	return tensor.Softmax(x)
+	return ctx.exec(l, func() *tensor.Tensor {
+		return tensor.Softmax(x)
+	}, nil, x)
 }

@@ -72,23 +72,23 @@ func (l *MultiHeadAttention) Forward(x *tensor.Tensor, ctx *Context) *tensor.Ten
 	dHead := l.DModel / l.Heads
 	headsOut := make([]*tensor.Tensor, l.Heads)
 	for h := 0; h < l.Heads; h++ {
-		qh := sliceCols(q, h*dHead, dHead)
-		kh := sliceCols(k, h*dHead, dHead)
-		vh := sliceCols(v, h*dHead, dHead)
+		qh := ctx.glue(l, func() *tensor.Tensor { return sliceCols(ctx, q, h*dHead, dHead) }, q)
+		kh := ctx.glue(l, func() *tensor.Tensor { return sliceCols(ctx, k, h*dHead, dHead) }, k)
+		vh := ctx.glue(l, func() *tensor.Tensor { return sliceCols(ctx, v, h*dHead, dHead) }, v)
 		scores := l.QK.Run(qh, kh, ctx) // (seq, seq), scaled by 1/√dHead
-		attn := tensor.Softmax(scores)
+		attn := ctx.glue(l, func() *tensor.Tensor { return tensor.Softmax(scores) }, scores)
 		headsOut[h] = l.AV.Run(attn, vh, ctx) // (seq, dHead)
 	}
-	concat := tensor.Concat(1, headsOut...)
+	concat := ctx.glue(l, func() *tensor.Tensor { return tensor.Concat(1, headsOut...) }, headsOut...)
 	out := l.WO.Forward(concat, ctx)
 	_ = seq
 	return out
 }
 
 // sliceCols copies columns [start, start+n) of a rank-2 tensor.
-func sliceCols(t *tensor.Tensor, start, n int) *tensor.Tensor {
+func sliceCols(ctx *Context, t *tensor.Tensor, start, n int) *tensor.Tensor {
 	rows := t.Dim(0)
-	out := tensor.New(rows, n)
+	out := ctx.newTensor(rows, n)
 	for r := 0; r < rows; r++ {
 		for c := 0; c < n; c++ {
 			out.Set(t.At(r, start+c), r, c)

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"fidelity/internal/numerics"
 	"fidelity/internal/tensor"
@@ -24,7 +25,24 @@ type Conv2D struct {
 	B *tensor.Tensor // length OutC, may be nil
 
 	codec numerics.Codec
+	// wcache holds RoundSlice(W) so repeated forwards (and ComputeNeuron)
+	// skip re-rounding the full weight tensor. atomic: a Network is shared
+	// read-only across campaign shards; the recompute is idempotent.
+	wcache atomic.Pointer[[]float32]
 }
+
+// roundedW returns the cached pre-rounded weight buffer, computing it once.
+func (l *Conv2D) roundedW() []float32 {
+	if p := l.wcache.Load(); p != nil {
+		return *p
+	}
+	rw := l.codec.RoundSlice(l.W.Data())
+	l.wcache.Store(&rw)
+	return rw
+}
+
+// InvalidateWeights drops the rounded-weight cache. Call after mutating W.
+func (l *Conv2D) InvalidateWeights() { l.wcache.Store(nil) }
 
 // NewConv2D builds a convolution layer with zero weights; use InitRandom or
 // assign W/B to populate parameters.
@@ -55,6 +73,7 @@ func (l *Conv2D) InitRandom(rng *rand.Rand, stddev float32) *Conv2D {
 	if l.B != nil {
 		l.B.RandNormal(rng, stddev/4)
 	}
+	l.InvalidateWeights()
 	return l
 }
 
@@ -83,75 +102,83 @@ func (l *Conv2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(3) != l.InC {
 		panic(fmt.Sprintf("nn: %s expects NHWC input with %d channels, got %v", l.name, l.InC, x.Shape()))
 	}
-	os := l.OutputShape(x.Shape())
-	out := tensor.New(os...)
-	op := &Operands{In: x, W: l.W, B: l.B, Out: out}
+	return ctx.exec(l, func() *tensor.Tensor {
+		os := l.OutputShape(x.Shape())
+		out := ctx.newTensor(os...)
+		op := &Operands{In: x, W: l.W, B: l.B, Out: out}
 
-	rin := l.codec.RoundSlice(x.Data())
-	rw := l.codec.RoundSlice(l.W.Data())
-	fp16 := l.codec.Precision() == numerics.FP16
-	od := out.Data()
-	n, oh, ow, outC := os[0], os[1], os[2], os[3]
-	h, wd, inC := x.Dim(1), x.Dim(2), l.InC
-	accs := make([]float32, outC)
+		rin := l.codec.RoundSlice(x.Data())
+		rw := l.roundedW()
+		fp16 := l.codec.Precision() == numerics.FP16
+		od := out.Data()
+		n, oh, ow, outC := os[0], os[1], os[2], os[3]
+		h, wd, inC := x.Dim(1), x.Dim(2), l.InC
+		accs := make([]float32, outC)
+		var bias []float32
+		if l.B != nil {
+			bias = l.B.Data()
+		}
 
-	for b := 0; b < n; b++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				for c := range accs {
-					accs[c] = 0
-				}
-				for ky := 0; ky < l.KH; ky++ {
-					iy := oy*l.Stride + ky - l.Pad
-					if iy < 0 || iy >= h {
-						continue
+		for b := 0; b < n; b++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					for c := range accs {
+						accs[c] = 0
 					}
-					for kx := 0; kx < l.KW; kx++ {
-						ix := ox*l.Stride + kx - l.Pad
-						if ix < 0 || ix >= wd {
+					for ky := 0; ky < l.KH; ky++ {
+						iy := oy*l.Stride + ky - l.Pad
+						if iy < 0 || iy >= h {
 							continue
 						}
-						inBase := ((b*h+iy)*wd + ix) * inC
-						if l.Depthwise {
-							wBase := (ky*l.KW + kx) * inC
-							for c := 0; c < outC; c++ {
-								p := rin[inBase+c] * rw[wBase+c]
+						for kx := 0; kx < l.KW; kx++ {
+							ix := ox*l.Stride + kx - l.Pad
+							if ix < 0 || ix >= wd {
+								continue
+							}
+							inBase := ((b*h+iy)*wd + ix) * inC
+							if l.Depthwise {
+								wBase := (ky*l.KW + kx) * inC
+								for c := 0; c < outC; c++ {
+									p := rin[inBase+c] * rw[wBase+c]
+									if fp16 {
+										p = numerics.RoundHalf(p)
+									}
+									accs[c] += p
+								}
+								continue
+							}
+							for ic := 0; ic < inC; ic++ {
+								av := rin[inBase+ic]
+								wBase := ((ky*l.KW+kx)*inC + ic) * outC
+								wrow := rw[wBase : wBase+outC]
 								if fp16 {
-									p = numerics.RoundHalf(p)
-								}
-								accs[c] += p
-							}
-							continue
-						}
-						for ic := 0; ic < inC; ic++ {
-							av := rin[inBase+ic]
-							wBase := ((ky*l.KW+kx)*inC + ic) * outC
-							wrow := rw[wBase : wBase+outC]
-							if fp16 {
-								for c, wv := range wrow {
-									accs[c] += numerics.RoundHalf(av * wv)
-								}
-							} else {
-								for c, wv := range wrow {
-									accs[c] += av * wv
+									for c, wv := range wrow {
+										accs[c] += numerics.RoundHalf(av * wv)
+									}
+								} else {
+									for c, wv := range wrow {
+										accs[c] += av * wv
+									}
 								}
 							}
 						}
 					}
-				}
-				outBase := ((b*oh+oy)*ow + ox) * outC
-				for c := 0; c < outC; c++ {
-					acc := accs[c]
-					if l.B != nil {
-						acc += l.B.Data()[c]
+					outBase := ((b*oh+oy)*ow + ox) * outC
+					for c := 0; c < outC; c++ {
+						acc := accs[c]
+						if bias != nil {
+							acc += bias[c]
+						}
+						od[outBase+c] = l.codec.Saturate(acc)
 					}
-					od[outBase+c] = l.codec.Saturate(acc)
 				}
 			}
 		}
-	}
-	ctx.fire(l, op)
-	return out
+		ctx.fire(l, op)
+		return out
+	}, func(out *tensor.Tensor) *Operands {
+		return &Operands{In: x, W: l.W, B: l.B, Out: out}
+	}, x)
 }
 
 // ComputeNeuron implements Site. The accumulation order is (kh, kw, ic)
@@ -162,6 +189,13 @@ func (l *Conv2D) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 	in := op.In
 	w := op.W
 	h, wd := in.Dim(1), in.Dim(2)
+	// Reuse the pre-rounded weight cache when recomputing against the layer's
+	// own weights: MulPre(Round(a), Round(b)) == Mul(a, b) for every codec,
+	// so the result is bit-identical.
+	var rw []float32
+	if w == l.W {
+		rw = l.roundedW()
+	}
 	var acc float32
 	for ky := 0; ky < l.KH; ky++ {
 		iy := oy*l.Stride + ky - l.Pad
@@ -178,11 +212,15 @@ func (l *Conv2D) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 				if ov != nil && ov.Kind == OperandInput && in.Offset(b, iy, ix, oc) == ov.Flat {
 					av = ov.Value
 				}
-				wv := w.At(ky, kx, oc, 0)
-				if ov != nil && ov.Kind == OperandWeight && w.Offset(ky, kx, oc, 0) == ov.Flat {
-					wv = ov.Value
+				woff := w.Offset(ky, kx, oc, 0)
+				switch {
+				case ov != nil && ov.Kind == OperandWeight && woff == ov.Flat:
+					acc += l.codec.Mul(av, ov.Value)
+				case rw != nil:
+					acc += l.codec.MulPre(l.codec.Round(av), rw[woff])
+				default:
+					acc += l.codec.Mul(av, w.At(ky, kx, oc, 0))
 				}
-				acc += l.codec.Mul(av, wv)
 				continue
 			}
 			for ic := 0; ic < l.InC; ic++ {
@@ -190,11 +228,15 @@ func (l *Conv2D) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 				if ov != nil && ov.Kind == OperandInput && in.Offset(b, iy, ix, ic) == ov.Flat {
 					av = ov.Value
 				}
-				wv := w.At(ky, kx, ic, oc)
-				if ov != nil && ov.Kind == OperandWeight && w.Offset(ky, kx, ic, oc) == ov.Flat {
-					wv = ov.Value
+				woff := w.Offset(ky, kx, ic, oc)
+				switch {
+				case ov != nil && ov.Kind == OperandWeight && woff == ov.Flat:
+					acc += l.codec.Mul(av, ov.Value)
+				case rw != nil:
+					acc += l.codec.MulPre(l.codec.Round(av), rw[woff])
+				default:
+					acc += l.codec.Mul(av, w.At(ky, kx, ic, oc))
 				}
-				acc += l.codec.Mul(av, wv)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"fidelity/internal/numerics"
 	"fidelity/internal/tensor"
@@ -21,7 +22,22 @@ type Dense struct {
 	B *tensor.Tensor // (Out), may be nil
 
 	codec numerics.Codec
+	// wcache holds RoundSlice(W); see Conv2D.wcache.
+	wcache atomic.Pointer[[]float32]
 }
+
+// roundedW returns the cached pre-rounded weight buffer, computing it once.
+func (l *Dense) roundedW() []float32 {
+	if p := l.wcache.Load(); p != nil {
+		return *p
+	}
+	rw := l.codec.RoundSlice(l.W.Data())
+	l.wcache.Store(&rw)
+	return rw
+}
+
+// InvalidateWeights drops the rounded-weight cache. Call after mutating W.
+func (l *Dense) InvalidateWeights() { l.wcache.Store(nil) }
 
 // NewDense builds a fully connected layer with zero parameters.
 func NewDense(name string, in, out int, codec numerics.Codec) *Dense {
@@ -42,6 +58,7 @@ func (l *Dense) InitRandom(rng *rand.Rand, stddev float32) *Dense {
 	if l.B != nil {
 		l.B.RandNormal(rng, stddev/4)
 	}
+	l.InvalidateWeights()
 	return l
 }
 
@@ -60,58 +77,76 @@ func (l *Dense) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	if x.Size()/batch != l.In {
 		panic(fmt.Sprintf("nn: %s expects %d features, got shape %v", l.name, l.In, x.Shape()))
 	}
-	flat := x.Reshape(batch, l.In)
-	out := tensor.New(batch, l.Out)
-	op := &Operands{In: flat, W: l.W, B: l.B, Out: out}
+	return ctx.exec(l, func() *tensor.Tensor {
+		flat := x.Reshape(batch, l.In)
+		out := ctx.newTensor(batch, l.Out)
+		op := &Operands{In: flat, W: l.W, B: l.B, Out: out}
 
-	// Fast path: pre-rounded operands, per-output-neuron accumulation in the
-	// same order as ComputeNeuron (bit-identical; see Conv2D.Forward).
-	rin := l.codec.RoundSlice(flat.Data())
-	rw := l.codec.RoundSlice(l.W.Data())
-	fp16 := l.codec.Precision() == numerics.FP16
-	od := out.Data()
-	for b := 0; b < batch; b++ {
-		orow := od[b*l.Out : (b+1)*l.Out]
-		for i := 0; i < l.In; i++ {
-			av := rin[b*l.In+i]
-			wrow := rw[i*l.Out : (i+1)*l.Out]
-			if fp16 {
-				for o, wv := range wrow {
-					orow[o] += numerics.RoundHalf(av * wv)
-				}
-			} else {
-				for o, wv := range wrow {
-					orow[o] += av * wv
+		// Fast path: pre-rounded operands, per-output-neuron accumulation in
+		// the same order as ComputeNeuron (bit-identical; see Conv2D.Forward).
+		rin := l.codec.RoundSlice(flat.Data())
+		rw := l.roundedW()
+		fp16 := l.codec.Precision() == numerics.FP16
+		od := out.Data()
+		var bias []float32
+		if l.B != nil {
+			bias = l.B.Data()
+		}
+		for b := 0; b < batch; b++ {
+			orow := od[b*l.Out : (b+1)*l.Out]
+			for i := 0; i < l.In; i++ {
+				av := rin[b*l.In+i]
+				wrow := rw[i*l.Out : (i+1)*l.Out]
+				if fp16 {
+					for o, wv := range wrow {
+						orow[o] += numerics.RoundHalf(av * wv)
+					}
+				} else {
+					for o, wv := range wrow {
+						orow[o] += av * wv
+					}
 				}
 			}
-		}
-		for o := 0; o < l.Out; o++ {
-			acc := orow[o]
-			if l.B != nil {
-				acc += l.B.Data()[o]
+			for o := 0; o < l.Out; o++ {
+				acc := orow[o]
+				if bias != nil {
+					acc += bias[o]
+				}
+				orow[o] = l.codec.Saturate(acc)
 			}
-			orow[o] = l.codec.Saturate(acc)
 		}
-	}
-	ctx.fire(l, op)
-	return out
+		ctx.fire(l, op)
+		return out
+	}, func(out *tensor.Tensor) *Operands {
+		return &Operands{In: x.Reshape(batch, l.In), W: l.W, B: l.B, Out: out}
+	}, x)
 }
 
 // ComputeNeuron implements Site.
 func (l *Dense) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 	b, o := idx[0], idx[1]
 	in := op.In
+	// Reuse the pre-rounded weight cache; bit-identical via the MulPre
+	// invariant (see Conv2D.ComputeNeuron).
+	var rw []float32
+	if op.W == l.W {
+		rw = l.roundedW()
+	}
 	var acc float32
 	for i := 0; i < l.In; i++ {
 		av := in.At(b, i)
 		if ov != nil && ov.Kind == OperandInput && in.Offset(b, i) == ov.Flat {
 			av = ov.Value
 		}
-		wv := op.W.At(i, o)
-		if ov != nil && ov.Kind == OperandWeight && op.W.Offset(i, o) == ov.Flat {
-			wv = ov.Value
+		woff := op.W.Offset(i, o)
+		switch {
+		case ov != nil && ov.Kind == OperandWeight && woff == ov.Flat:
+			acc += l.codec.Mul(av, ov.Value)
+		case rw != nil:
+			acc += l.codec.MulPre(l.codec.Round(av), rw[woff])
+		default:
+			acc += l.codec.Mul(av, op.W.At(i, o))
 		}
-		acc += l.codec.Mul(av, wv)
 	}
 	if op.B != nil {
 		bv := op.B.At(o)

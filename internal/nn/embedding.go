@@ -40,18 +40,20 @@ func (l *Embedding) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s expects (seq,1) token IDs, got %v", l.name, x.Shape()))
 	}
 	seq := x.Dim(0)
-	out := tensor.New(seq, l.Dim)
-	for s := 0; s < seq; s++ {
-		tok := int(x.At(s, 0))
-		if tok < 0 {
-			tok = 0
+	return ctx.exec(l, func() *tensor.Tensor {
+		out := ctx.newTensor(seq, l.Dim)
+		for s := 0; s < seq; s++ {
+			tok := int(x.At(s, 0))
+			if tok < 0 {
+				tok = 0
+			}
+			if tok >= l.Vocab {
+				tok = l.Vocab - 1
+			}
+			for d := 0; d < l.Dim; d++ {
+				out.Set(l.Table.At(tok, d), s, d)
+			}
 		}
-		if tok >= l.Vocab {
-			tok = l.Vocab - 1
-		}
-		for d := 0; d < l.Dim; d++ {
-			out.Set(l.Table.At(tok, d), s, d)
-		}
-	}
-	return out
+		return out
+	}, nil, x)
 }

@@ -117,10 +117,30 @@ type Operands struct {
 type Hook func(site Layer, visit int, op *Operands)
 
 // Context threads the injection hook through a forward pass. A nil *Context
-// is valid and means "no instrumentation".
+// is valid and means "no instrumentation". A Context additionally carries the
+// replay machinery (see replay.go): in record mode it captures golden outputs,
+// in replay mode it memoizes against them and fires the hook only at the
+// armed target execution.
 type Context struct {
 	hook   Hook
 	visits map[Layer]int
+
+	mode       ctxMode
+	execVisits map[Layer]int
+	glueVisits map[Layer]int
+	trace      *GoldenTrace
+	arena      *Arena
+
+	target      Layer
+	targetVisit int
+	injected    bool
+	// pendingFire/pendingVisit gate the replay-mode hook dispatch: fire only
+	// passes the hook through when exec has armed it for the target visit,
+	// and reports the recorded visit number rather than the (skip-distorted)
+	// replay-side counter.
+	pendingFire  bool
+	pendingVisit int
+	stats        ReplayStats
 }
 
 // NewContext builds a context that invokes hook at every compute site.
@@ -131,6 +151,14 @@ func NewContext(hook Hook) *Context {
 // fire dispatches the hook for one execution of site.
 func (c *Context) fire(site Layer, op *Operands) {
 	if c == nil || c.hook == nil {
+		return
+	}
+	if c.mode == ctxReplay {
+		if !c.pendingFire {
+			return
+		}
+		c.pendingFire = false
+		c.hook(site, c.pendingVisit, op)
 		return
 	}
 	v := c.visits[site]

@@ -57,54 +57,59 @@ func (l *MatMulSite) Run(a, b *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	if bk != k {
 		panic(fmt.Sprintf("nn: %s inner dims %d vs %d", l.name, k, bk))
 	}
-	out := tensor.New(m, n)
-	op := &Operands{In: a, W: b, Out: out}
+	return ctx.exec(l, func() *tensor.Tensor {
+		out := ctx.newTensor(m, n)
+		op := &Operands{In: a, W: b, Out: out}
 
-	// Fast path (bit-identical to per-neuron ComputeNeuron; see
-	// Conv2D.Forward).
-	ra := l.codec.RoundSlice(a.Data())
-	rb := l.codec.RoundSlice(b.Data())
-	fp16 := l.codec.Precision() == numerics.FP16
-	od := out.Data()
-	for i := 0; i < m; i++ {
-		arow := ra[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if l.TransposeB {
-				// B row j holds (j, p): stride k per output column.
+		// Fast path (bit-identical to per-neuron ComputeNeuron; see
+		// Conv2D.Forward). No rounded-weight cache here: operand B is an
+		// activation that changes every pass.
+		ra := l.codec.RoundSlice(a.Data())
+		rb := l.codec.RoundSlice(b.Data())
+		fp16 := l.codec.Precision() == numerics.FP16
+		od := out.Data()
+		for i := 0; i < m; i++ {
+			arow := ra[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if l.TransposeB {
+					// B row j holds (j, p): stride k per output column.
+					if fp16 {
+						for j := 0; j < n; j++ {
+							orow[j] += numerics.RoundHalf(av * rb[j*k+p])
+						}
+					} else {
+						for j := 0; j < n; j++ {
+							orow[j] += av * rb[j*k+p]
+						}
+					}
+					continue
+				}
+				brow := rb[p*n : (p+1)*n]
 				if fp16 {
-					for j := 0; j < n; j++ {
-						orow[j] += numerics.RoundHalf(av * rb[j*k+p])
+					for j, wv := range brow {
+						orow[j] += numerics.RoundHalf(av * wv)
 					}
 				} else {
-					for j := 0; j < n; j++ {
-						orow[j] += av * rb[j*k+p]
+					for j, wv := range brow {
+						orow[j] += av * wv
 					}
 				}
-				continue
 			}
-			brow := rb[p*n : (p+1)*n]
-			if fp16 {
-				for j, wv := range brow {
-					orow[j] += numerics.RoundHalf(av * wv)
+			for j := 0; j < n; j++ {
+				acc := orow[j]
+				if l.ScaleOut != 0 {
+					acc *= l.ScaleOut
 				}
-			} else {
-				for j, wv := range brow {
-					orow[j] += av * wv
-				}
+				orow[j] = l.codec.Saturate(acc)
 			}
 		}
-		for j := 0; j < n; j++ {
-			acc := orow[j]
-			if l.ScaleOut != 0 {
-				acc *= l.ScaleOut
-			}
-			orow[j] = l.codec.Saturate(acc)
-		}
-	}
-	ctx.fire(l, op)
-	return out
+		ctx.fire(l, op)
+		return out
+	}, func(out *tensor.Tensor) *Operands {
+		return &Operands{In: a, W: b, Out: out}
+	}, a, b)
 }
 
 // ComputeNeuron implements Site.

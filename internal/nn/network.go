@@ -60,6 +60,12 @@ func (n *Network) ForwardWithHook(x *tensor.Tensor, hook Hook) *tensor.Tensor {
 	return n.Root.Forward(x, NewContext(hook))
 }
 
+// ForwardWithContext runs an inference through an explicit context — used by
+// the replay engine, which reuses record/replay contexts across passes.
+func (n *Network) ForwardWithContext(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
+	return n.Root.Forward(x, ctx)
+}
+
 // SiteExecution captures one execution of a site during a forward pass:
 // operand shapes plus the output, for fault-site sampling.
 type SiteExecution struct {
@@ -70,6 +76,9 @@ type SiteExecution struct {
 	BSize    int
 	OutSize  int
 	OutShape []int
+	// Golden is the recorded golden output of this execution, populated by
+	// TraceWithActivations (nil for plain Trace).
+	Golden *tensor.Tensor
 }
 
 // Trace runs a clean forward pass and records every site execution, so a
@@ -94,4 +103,33 @@ func (n *Network) Trace(x *tensor.Tensor) (*tensor.Tensor, []SiteExecution) {
 		execs = append(execs, e)
 	})
 	return out, execs
+}
+
+// TraceWithActivations runs a clean forward pass in record mode: like Trace,
+// but every layer execution's golden output tensor is captured into the
+// returned GoldenTrace (and each SiteExecution carries its golden output), so
+// subsequent injections can replay incrementally instead of recomputing the
+// full network.
+func (n *Network) TraceWithActivations(x *tensor.Tensor) (*tensor.Tensor, []SiteExecution, *GoldenTrace) {
+	var execs []SiteExecution
+	ctx, trace := NewRecordContext(func(site Layer, visit int, op *Operands) {
+		e := SiteExecution{Visit: visit, OutSize: op.Out.Size(), OutShape: append([]int(nil), op.Out.Shape()...)}
+		if s, ok := site.(Site); ok {
+			e.Site = s
+		}
+		if op.In != nil {
+			e.InShape = append([]int(nil), op.In.Shape()...)
+		}
+		if op.W != nil {
+			e.WShape = append([]int(nil), op.W.Shape()...)
+		}
+		if op.B != nil {
+			e.BSize = op.B.Size()
+		}
+		e.Golden = op.Out
+		execs = append(execs, e)
+	})
+	trace.MarkGolden(x)
+	out := n.Root.Forward(x, ctx)
+	return out, execs, trace
 }

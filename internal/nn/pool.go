@@ -35,26 +35,28 @@ func (l *MaxPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: %s input %v too small for pool %d/%d", l.name, x.Shape(), l.Size, l.Stride))
 	}
-	out := tensor.New(n, oh, ow, c)
-	for b := 0; b < n; b++ {
-		for y := 0; y < oh; y++ {
-			for xx := 0; xx < ow; xx++ {
-				for ch := 0; ch < c; ch++ {
-					m := float32(math.Inf(-1))
-					for py := 0; py < l.Size; py++ {
-						for px := 0; px < l.Size; px++ {
-							v := x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
-							if v > m {
-								m = v
+	return ctx.exec(l, func() *tensor.Tensor {
+		out := ctx.newTensor(n, oh, ow, c)
+		for b := 0; b < n; b++ {
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					for ch := 0; ch < c; ch++ {
+						m := float32(math.Inf(-1))
+						for py := 0; py < l.Size; py++ {
+							for px := 0; px < l.Size; px++ {
+								v := x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
+								if v > m {
+									m = v
+								}
 							}
 						}
+						out.Set(m, b, y, xx, ch)
 					}
-					out.Set(m, b, y, xx, ch)
 				}
 			}
 		}
-	}
-	return out
+		return out
+	}, nil, x)
 }
 
 // AvgPool is a 2-D average pooling layer.
@@ -80,24 +82,26 @@ func (l *AvgPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h-l.Size)/l.Stride + 1
 	ow := (w-l.Size)/l.Stride + 1
-	out := tensor.New(n, oh, ow, c)
-	inv := 1 / float32(l.Size*l.Size)
-	for b := 0; b < n; b++ {
-		for y := 0; y < oh; y++ {
-			for xx := 0; xx < ow; xx++ {
-				for ch := 0; ch < c; ch++ {
-					var s float32
-					for py := 0; py < l.Size; py++ {
-						for px := 0; px < l.Size; px++ {
-							s += x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
+	return ctx.exec(l, func() *tensor.Tensor {
+		out := ctx.newTensor(n, oh, ow, c)
+		inv := 1 / float32(l.Size*l.Size)
+		for b := 0; b < n; b++ {
+			for y := 0; y < oh; y++ {
+				for xx := 0; xx < ow; xx++ {
+					for ch := 0; ch < c; ch++ {
+						var s float32
+						for py := 0; py < l.Size; py++ {
+							for px := 0; px < l.Size; px++ {
+								s += x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
+							}
 						}
+						out.Set(l.codec.Round(s*inv), b, y, xx, ch)
 					}
-					out.Set(l.codec.Round(s*inv), b, y, xx, ch)
 				}
 			}
 		}
-	}
-	return out
+		return out
+	}, nil, x)
 }
 
 // GlobalAvgPool averages each channel over all spatial positions, producing
@@ -118,18 +122,20 @@ func (l *GlobalAvgPool) Name() string { return l.name }
 // Forward implements Layer.
 func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	out := tensor.New(n, c)
-	inv := 1 / float32(h*w)
-	for b := 0; b < n; b++ {
-		for ch := 0; ch < c; ch++ {
-			var s float64
-			for y := 0; y < h; y++ {
-				for xx := 0; xx < w; xx++ {
-					s += float64(x.At(b, y, xx, ch))
+	return ctx.exec(l, func() *tensor.Tensor {
+		out := ctx.newTensor(n, c)
+		inv := 1 / float32(h*w)
+		for b := 0; b < n; b++ {
+			for ch := 0; ch < c; ch++ {
+				var s float64
+				for y := 0; y < h; y++ {
+					for xx := 0; xx < w; xx++ {
+						s += float64(x.At(b, y, xx, ch))
+					}
 				}
+				out.Set(l.codec.Round(float32(s)*inv), b, ch)
 			}
-			out.Set(l.codec.Round(float32(s)*inv), b, ch)
 		}
-	}
-	return out
+		return out
+	}, nil, x)
 }

@@ -6,6 +6,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,10 @@ type Collector struct {
 	// failures it survived during the campaign.
 	panics, timeouts, ioRetries, quarantined atomic.Int64
 	shardBudgets                             sync.Map // shard index (int) -> *shardBudget
+
+	// Replay counters: the incremental replay engine's cumulative savings.
+	replaySkipped, replayRecomputed, replayArena atomic.Int64
+	replayMACs                                   atomic.Uint64 // Float64bits-encoded sum
 }
 
 // Outcomes tallies experiment classifications for one fault model.
@@ -111,6 +116,23 @@ func (c *Collector) RecordQuarantine(shard int, reason string) {
 // RecordIORetry counts one retried transient I/O failure (checkpoint or
 // manifest write).
 func (c *Collector) RecordIORetry() { c.ioRetries.Add(1) }
+
+// RecordReplay accumulates one experiment's incremental-replay savings:
+// layer executions skipped vs. recomputed, arena buffer reuses, and the
+// estimated MAC work avoided. Not called when replay is disabled, so
+// full-forward snapshots carry no Replay block.
+func (c *Collector) RecordReplay(skipped, recomputed int, arenaReuses int64, macsAvoided float64) {
+	c.replaySkipped.Add(int64(skipped))
+	c.replayRecomputed.Add(int64(recomputed))
+	c.replayArena.Add(arenaReuses)
+	for {
+		old := c.replayMACs.Load()
+		next := math.Float64bits(math.Float64frombits(old) + macsAvoided)
+		if c.replayMACs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // SetShardBudget publishes one shard's failure-budget state: quarantines
 // charged so far, the budget limit (negative = unlimited), and whether the
@@ -192,6 +214,17 @@ type RecoverySnapshot struct {
 	Shards          []ShardBudgetState `json:"shards,omitempty"` // shards with failures, ascending
 }
 
+// ReplaySnapshot reports the incremental replay engine's cumulative savings
+// across all experiments so far.
+type ReplaySnapshot struct {
+	LayersSkipped    int64 `json:"layers_skipped"`
+	LayersRecomputed int64 `json:"layers_recomputed"`
+	// CacheHitRatio is skipped / (skipped + recomputed).
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	ArenaReuses    int64   `json:"arena_reuses"`
+	MACsAvoidedEst float64 `json:"macs_avoided_est"`
+}
+
 // PhaseSnapshot reports one phase's accumulated wall-clock time.
 type PhaseSnapshot struct {
 	Name    string  `json:"name"`
@@ -211,6 +244,9 @@ type Snapshot struct {
 	// framework failure or retried an I/O operation, so clean-run snapshots
 	// are unchanged.
 	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
+	// Replay is present only when the incremental replay engine ran (it is
+	// omitted entirely when replay is disabled).
+	Replay *ReplaySnapshot `json:"replay,omitempty"`
 }
 
 // Snapshot captures the current counters. Model keys are sorted into a map
@@ -258,6 +294,17 @@ func (c *Collector) Snapshot() Snapshot {
 	sort.Slice(rec.Shards, func(i, j int) bool { return rec.Shards[i].Shard < rec.Shards[j].Shard })
 	if rec.Quarantined > 0 || rec.IORetries > 0 || len(rec.Shards) > 0 {
 		s.Recovery = &rec
+	}
+	skipped, recomputed := c.replaySkipped.Load(), c.replayRecomputed.Load()
+	if skipped+recomputed > 0 {
+		rep := &ReplaySnapshot{
+			LayersSkipped:    skipped,
+			LayersRecomputed: recomputed,
+			CacheHitRatio:    float64(skipped) / float64(skipped+recomputed),
+			ArenaReuses:      c.replayArena.Load(),
+			MACsAvoidedEst:   math.Float64frombits(c.replayMACs.Load()),
+		}
+		s.Replay = rep
 	}
 	c.mu.Lock()
 	for _, p := range c.phases {
