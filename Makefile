@@ -1,8 +1,16 @@
-# Mirrors .github/workflows/ci.yml — `make ci` runs everything CI runs.
+# Mirrors .github/workflows/ci.yml — `make ci` runs everything CI runs
+# (except `lint`, which downloads its pinned tools and so needs network).
 
 GO ?= go
 
-.PHONY: build test race chaos bench bench-json fmt vet ci
+# Pinned lint tooling — keep in sync with the `lint` job in ci.yml.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+# Coordinator address used by the `work` convenience target.
+COORDINATOR ?= http://127.0.0.1:9090
+
+.PHONY: build test race chaos bench bench-json fmt vet lint serve work e2e-distrib ci
 
 build:
 	$(GO) build ./...
@@ -10,10 +18,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detect the concurrency-critical packages (the sharded campaign engine
-# and the injector). Slow: the campaign suite takes several minutes under -race.
+# Race-detect the concurrency-critical packages: the sharded campaign engine,
+# the injector, and the distributed fabric (coordinator + workers exchanging
+# leases over loopback HTTP). Slow: several minutes under -race.
 race:
-	$(GO) test -race -timeout 30m ./internal/campaign/... ./internal/inject/...
+	$(GO) test -race -timeout 30m ./internal/campaign/... ./internal/inject/... ./internal/distrib/...
 
 # The chaos self-test harness: synthetic panics, hangs, and I/O errors
 # injected into live campaigns; the supervisor must recover deterministically.
@@ -42,5 +51,25 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis + known-vulnerability scan, pinned so CI and local runs
+# agree. Downloads the tools on first use (network required).
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+# Run a distributed-campaign coordinator on :9090 with durable state; point
+# one or more `make work` invocations (any machine) at it.
+serve:
+	$(GO) run ./cmd/fidelityd serve -state fidelityd.state.json $(SERVE_FLAGS)
+
+# Run a worker against $(COORDINATOR).
+work:
+	$(GO) run ./cmd/fidelityd work -coordinator $(COORDINATOR) $(WORK_FLAGS)
+
+# The distributed-fabric end-to-end suite under -race: byte-identical results
+# at 1/2/4 workers, killed-worker lease recovery, coordinator restart.
+e2e-distrib:
+	$(GO) test -race -count=1 -run 'TestDistrib' ./internal/distrib/
 
 ci: fmt vet build test race chaos bench

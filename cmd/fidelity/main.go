@@ -8,6 +8,10 @@
 //	fidelity table2 [-csv]
 //	fidelity fig2 [-k 4] [-t 16]
 //	fidelity census
+//
+// The injection campaign behind `sensitivity` runs in-process; cmd/study
+// runs the full study figures, and cmd/fidelityd distributes the same
+// campaigns over machines with byte-identical results.
 package main
 
 import (
@@ -164,6 +168,11 @@ func sensitivity(ctx context.Context, args []string) error {
 	noReplay := fs.Bool("no-replay", false, "disable the incremental golden-replay engine (bit-identical results, slower)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *samples <= 0 {
+		fmt.Fprintf(os.Stderr, "fidelity: -samples must be positive (got %d)\n", *samples)
+		fs.Usage()
+		os.Exit(2)
 	}
 	cfg := accel.NVDLASmall()
 	fw, err := core.New(cfg)

@@ -21,8 +21,12 @@
 // the run at an experiment boundary and saves a resumable checkpoint to
 // -checkpoint; rerunning with -resume <file> continues it to a result
 // identical to an uninterrupted run. -progress <interval> emits JSONL
-// telemetry snapshots to stderr, and -manifest writes a machine-readable
-// run summary next to the report output.
+// telemetry snapshots to stderr (attributed source "local"), and -manifest
+// writes a machine-readable run summary next to the report output.
+//
+// To fan a campaign out over machines instead of local -workers, see
+// cmd/fidelityd: the same engine behind a coordinator/worker fabric, with
+// byte-identical results for the same -seed and -shards.
 package main
 
 import (
@@ -73,6 +77,21 @@ func main() {
 	ioBackoff := flag.Duration("io-backoff", 0, "initial backoff between I/O retries, doubling per attempt (0 = default)")
 	noReplay := flag.Bool("no-replay", false, "disable the incremental golden-replay engine and run every experiment as a full forward pass (bit-identical results, slower)")
 	flag.Parse()
+	if *samples <= 0 {
+		usageError("-samples must be positive (got %d)", *samples)
+	}
+	if *inputs <= 0 {
+		usageError("-inputs must be positive (got %d)", *inputs)
+	}
+	if *shards < 0 {
+		usageError("-shards must be non-negative (got %d; 0 selects the default)", *shards)
+	}
+	if *iters <= 0 {
+		usageError("-iters must be positive (got %d)", *iters)
+	}
+	if *workers < 0 {
+		usageError("-workers must be non-negative (got %d; 0 selects the default)", *workers)
+	}
 
 	// SIGINT/SIGTERM cancel the campaign context; workers stop at an
 	// experiment boundary and the engine saves a checkpoint.
@@ -100,6 +119,9 @@ func main() {
 			DisableReplay:      *noReplay,
 		},
 	}
+	// Progress lines from an in-process campaign are attributed "local";
+	// distributed runs (fidelityd) attribute per worker ID instead.
+	r.tel.SetSource("local")
 	r.opts.Telemetry = r.tel
 	if *resume != "" {
 		cp, err := campaign.LoadCheckpoint(*resume)
@@ -198,6 +220,15 @@ func quarantined(results []*campaign.StudyResult) int {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "study:", err)
 	os.Exit(1)
+}
+
+// usageError rejects nonsensical flag values before any campaign state is
+// touched: print the complaint and the usage text, exit 2 (the same code as
+// an unknown mode).
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "study: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 // runner threads the shared campaign machinery — context, options,

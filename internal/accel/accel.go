@@ -9,7 +9,10 @@
 // RTL access is required to derive accurate software fault models.
 package accel
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Position is the pipeline position of a datapath FF, following the
 // partitioning of Table I.
@@ -169,6 +172,48 @@ func (c Category) String() string {
 // MarshalText lets Category key JSON maps (the per-category FIT breakdowns),
 // using the Table II row label.
 func (c Category) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses the Table II row label back into a Category, so a
+// Config (whose census rows carry categories) round-trips through JSON — a
+// distributed worker receives its accelerator description over the wire.
+func (c *Category) UnmarshalText(text []byte) error {
+	s := string(text)
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		pos, vt := s[:i], s[i+1:]
+		c.Class = Datapath
+		switch pos {
+		case BeforeCBUF.String():
+			c.Pos = BeforeCBUF
+		case CBUFToMAC.String():
+			c.Pos = CBUFToMAC
+		case InsideMAC.String():
+			c.Pos = InsideMAC
+		case AfterMAC.String():
+			c.Pos = AfterMAC
+		default:
+			return fmt.Errorf("accel: unknown pipeline position %q", pos)
+		}
+		for _, v := range []VarType{VarInput, VarWeight, VarBias, VarPartialSum, VarOutput} {
+			if vt == v.String() {
+				c.Var = v
+				return nil
+			}
+		}
+		return fmt.Errorf("accel: unknown variable type %q", vt)
+	}
+	c.Var, c.Pos = 0, 0
+	switch s {
+	case Datapath.String():
+		c.Class = Datapath
+	case LocalControl.String():
+		c.Class = LocalControl
+	case GlobalControl.String():
+		c.Class = GlobalControl
+	default:
+		return fmt.Errorf("accel: unknown FF category %q", s)
+	}
+	return nil
+}
 
 // FFGroup is one census row: a category, the component it lives in, and the
 // fraction of the design's FFs it contains, plus the sub-fractions that the

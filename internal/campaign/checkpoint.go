@@ -131,25 +131,74 @@ func (c *Checkpoint) Matches(cfg *accel.Config, w *model.Workload, opts StudyOpt
 		len(c.Shard) == shards
 }
 
+// NewShardCheckpoint returns the canonical empty state of one logical shard:
+// the checkpoint a shard publishes before running its first experiment, with
+// every fault model's tally present and zero.
+func NewShardCheckpoint(index int) ShardCheckpoint {
+	sc := ShardCheckpoint{
+		Index:  index,
+		Masked: make(map[faultmodel.ID]Proportion, len(faultmodel.AllIDs())),
+	}
+	for _, id := range faultmodel.AllIDs() {
+		sc.Masked[id] = Proportion{}
+	}
+	return sc
+}
+
+// NewCheckpoint assembles per-shard states into one campaign checkpoint whose
+// identity fields pin (cfg, w, opts). The shards slice must hold one entry
+// per logical shard, in index order — exactly what a completed or interrupted
+// run of every shard produces.
+func NewCheckpoint(cfg *accel.Config, w *model.Workload, opts StudyOptions, shards []ShardCheckpoint) *Checkpoint {
+	cp := &Checkpoint{
+		Version:   checkpointVersion,
+		Config:    cfg.Fingerprint(),
+		Workload:  w.Net.Name(),
+		Precision: w.Net.Precision.String(),
+		Tolerance: opts.Tolerance,
+		Samples:   opts.Samples,
+		Inputs:    opts.Inputs,
+		Seed:      opts.Seed,
+		Shards:    opts.shards(),
+		PerLayer:  opts.PerLayer,
+	}
+	for _, sc := range shards {
+		cp.Experiments += sc.Experiments
+		cp.Quarantined += len(sc.Quarantine)
+		cp.Shard = append(cp.Shard, sc)
+	}
+	return cp
+}
+
 // Save writes the checkpoint as JSON, atomically and durably: temp file +
 // fsync + rename + directory fsync, so a crash at any point leaves either
 // the old checkpoint or the complete new one — never a truncated or lost
 // file.
 func (c *Checkpoint) Save(path string) error {
-	blob, err := json.MarshalIndent(c, "", " ")
+	return AtomicWriteJSON(path, c)
+}
+
+// AtomicWriteJSON is the checkpoint machinery's durable-write primitive,
+// exported for other resumable state (the distributed coordinator's lease
+// table rides on it): v is marshalled as indented JSON and published via
+// temp file + fsync + rename + directory fsync, so a crash at any point
+// leaves either the old file or the complete new one — never a truncated or
+// lost one.
+func AtomicWriteJSON(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
-		return fmt.Errorf("campaign: encode checkpoint: %w", err)
+		return fmt.Errorf("campaign: encode %s: %w", filepath.Base(path), err)
 	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".ckpt-*")
 	if err != nil {
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
+		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
 	}
 	tmpName := tmp.Name()
 	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
+		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
 	}
 	if _, err := tmp.Write(blob); err != nil {
 		return fail(err)
@@ -161,20 +210,20 @@ func (c *Checkpoint) Save(path string) error {
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
+		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("campaign: write checkpoint: %w", err)
+		return fmt.Errorf("campaign: write %s: %w", filepath.Base(path), err)
 	}
 	// And fsync the directory so the rename itself is durable.
 	d, err := os.Open(dir)
 	if err != nil {
-		return fmt.Errorf("campaign: sync checkpoint directory: %w", err)
+		return fmt.Errorf("campaign: sync directory of %s: %w", filepath.Base(path), err)
 	}
 	defer d.Close()
 	if err := d.Sync(); err != nil {
-		return fmt.Errorf("campaign: sync checkpoint directory: %w", err)
+		return fmt.Errorf("campaign: sync directory of %s: %w", filepath.Base(path), err)
 	}
 	return nil
 }

@@ -4,12 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"fidelity/internal/accel"
-	"fidelity/internal/activeness"
 	"fidelity/internal/dataset"
 	"fidelity/internal/faultmodel"
 	"fidelity/internal/fit"
@@ -212,6 +210,7 @@ type shardState struct {
 	quarantined  map[Cursor]bool
 	failures     int // quarantines charged to this run's failure budget
 	sincePublish int
+	publishEvery int // experiment cadence between published snapshots
 	done         bool
 	err          error
 
@@ -219,18 +218,22 @@ type shardState struct {
 	published ShardCheckpoint
 }
 
-// errShardExhausted aborts a shard's run after its failure budget is spent;
-// the study degrades to a partial result instead of failing.
-var errShardExhausted = errors.New("campaign: shard failure budget exhausted")
+// ErrShardExhausted aborts a shard's run after its failure budget is spent:
+// the shard's published checkpoint stays consistent and resumable, and a
+// study containing such a shard degrades to a partial result instead of
+// failing. RunShard surfaces it so distributed workers can report a degraded
+// (rather than completed or failed) shard to their coordinator.
+var ErrShardExhausted = errors.New("campaign: shard failure budget exhausted")
 
 func newShardState(index int, seed int64, w *model.Workload, models []faultmodel.Model, opts StudyOptions) *shardState {
 	sh := &shardState{
-		index:  index,
-		seed:   seed,
-		w:      w,
-		models: models,
-		opts:   opts,
-		masked: map[faultmodel.ID]*Proportion{},
+		index:        index,
+		seed:         seed,
+		w:            w,
+		models:       models,
+		opts:         opts,
+		masked:       map[faultmodel.ID]*Proportion{},
+		publishEvery: defaultPublishEvery,
 	}
 	for _, id := range faultmodel.AllIDs() {
 		sh.masked[id] = &Proportion{}
@@ -307,9 +310,11 @@ func (sh *shardState) snapshot() ShardCheckpoint {
 	return sh.published
 }
 
-// publishEvery is the experiment cadence at which a running shard refreshes
-// its published snapshot for the periodic checkpoint saver.
-const publishEvery = 64
+// defaultPublishEvery is the experiment cadence at which a running shard
+// refreshes its published snapshot for the periodic checkpoint saver.
+// ShardRun.PublishEvery overrides it for distributed workers that stream
+// finer-grained checkpoints to their coordinator.
+const defaultPublishEvery = 64
 
 // boundary pauses at an experiment boundary: ctx is checked and the
 // published snapshot refreshed before the cursor's experiment runs.
@@ -319,7 +324,7 @@ func (sh *shardState) boundary(ctx context.Context, cur Cursor) error {
 		sh.publish(cur)
 		return err
 	}
-	if sh.sincePublish++; sh.sincePublish >= publishEvery {
+	if sh.sincePublish++; sh.sincePublish >= sh.publishEvery {
 		sh.sincePublish = 0
 		sh.publish(cur)
 	}
@@ -490,14 +495,14 @@ func (sh *shardState) step(ctx context.Context, cur Cursor, id faultmodel.ID, ex
 		if tel := sh.opts.Telemetry; tel != nil {
 			tel.SetShardBudget(sh.index, sh.failures, b, true)
 		}
-		return errShardExhausted
+		return ErrShardExhausted
 	}
 	return nil
 }
 
 // run executes the shard's slice of the experiment space from its cursor.
 // On context cancellation it publishes a consistent snapshot and returns the
-// context's error; errShardExhausted degrades the shard; any other error is
+// context's error; ErrShardExhausted degrades the shard; any other error is
 // a campaign failure.
 func (sh *shardState) run(ctx context.Context) error {
 	opts := sh.opts
@@ -564,25 +569,11 @@ func (sh *shardState) run(ctx context.Context) error {
 // assembleCheckpoint collects every shard's last published snapshot into one
 // resumable campaign checkpoint.
 func assembleCheckpoint(cfg *accel.Config, w *model.Workload, opts StudyOptions, states []*shardState) *Checkpoint {
-	cp := &Checkpoint{
-		Version:   checkpointVersion,
-		Config:    cfg.Fingerprint(),
-		Workload:  w.Net.Name(),
-		Precision: w.Net.Precision.String(),
-		Tolerance: opts.Tolerance,
-		Samples:   opts.Samples,
-		Inputs:    opts.Inputs,
-		Seed:      opts.Seed,
-		Shards:    opts.shards(),
-		PerLayer:  opts.PerLayer,
+	finals := make([]ShardCheckpoint, len(states))
+	for i, sh := range states {
+		finals[i] = sh.snapshot()
 	}
-	for _, sh := range states {
-		sc := sh.snapshot()
-		cp.Experiments += sc.Experiments
-		cp.Quarantined += len(sc.Quarantine)
-		cp.Shard = append(cp.Shard, sc)
-	}
-	return cp
+	return NewCheckpoint(cfg, w, opts, finals)
 }
 
 func isCancellation(err error) bool {
@@ -613,22 +604,10 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 	if opts.Samples <= 0 || opts.Inputs <= 0 {
 		return nil, fmt.Errorf("campaign: Samples and Inputs must be positive")
 	}
-	if opts.RawFITPerMB == 0 {
-		opts.RawFITPerMB = fit.RawFFFITPerMB
-	}
 	tel := opts.Telemetry
 	models, err := faultmodel.Derive(cfg)
 	if err != nil {
 		return nil, err
-	}
-	res := &StudyResult{
-		Workload:  w.Net.Name(),
-		Precision: w.Net.Precision.String(),
-		Tolerance: opts.Tolerance,
-		Masked:    map[faultmodel.ID]*Proportion{},
-	}
-	for _, id := range faultmodel.AllIDs() {
-		res.Masked[id] = &Proportion{}
 	}
 
 	// Trace once for the Eq. 2 layer specs.
@@ -720,7 +699,7 @@ feed:
 	interrupted, partial := false, false
 	for _, sh := range states {
 		switch {
-		case errors.Is(sh.err, errShardExhausted):
+		case errors.Is(sh.err, ErrShardExhausted):
 			partial = true // the shard degraded but its published state is consistent
 		case sh.err == nil && !sh.done:
 			interrupted = true // never started before cancellation
@@ -746,93 +725,18 @@ feed:
 		// checkpoint lets a later run (with the failure fixed) complete it.
 		_ = saveCheckpoint(assembleCheckpoint(cfg, w, opts, states), opts.CheckpointPath, opts)
 	}
-	res.Partial = partial
-
-	// Aggregate the shard tallies. Integer sums commute, so the aggregate is
-	// independent of both worker scheduling and shard order.
-	var perLayer []map[faultmodel.ID]*Proportion
-	if opts.PerLayer {
-		perLayer = make([]map[faultmodel.ID]*Proportion, len(execs))
-		for e := range perLayer {
-			perLayer[e] = map[faultmodel.ID]*Proportion{}
-			for _, id := range faultmodel.AllIDs() {
-				perLayer[e][id] = &Proportion{}
-			}
-		}
+	// Assemble the result from the shards' final published snapshots — the
+	// identical code path a distributed coordinator runs on the checkpoints
+	// it collected from remote workers, so an in-process study and a fabric
+	// run with the same (Seed, Shards) produce byte-identical StudyResult
+	// JSON. The snapshots are exact here: every terminal shard (done or
+	// budget-exhausted) published its final state before returning, and
+	// assembleResult re-derives Partial from the non-done shards.
+	finals := make([]ShardCheckpoint, len(states))
+	for i, sh := range states {
+		finals[i] = sh.snapshot()
 	}
-	for _, sh := range states {
-		for id, p := range sh.masked {
-			res.Masked[id].Successes += p.Successes
-			res.Masked[id].Trials += p.Trials
-		}
-		for e := range sh.perLayer {
-			for id, p := range sh.perLayer[e] {
-				perLayer[e][id].Successes += p.Successes
-				perLayer[e][id].Trials += p.Trials
-			}
-		}
-		res.Perturb.SmallFail.Successes += sh.perturb.SmallFail.Successes
-		res.Perturb.SmallFail.Trials += sh.perturb.SmallFail.Trials
-		res.Perturb.LargeFail.Successes += sh.perturb.LargeFail.Successes
-		res.Perturb.LargeFail.Trials += sh.perturb.LargeFail.Trials
-		res.Experiments += sh.experiments
-		res.Quarantined = append(res.Quarantined, sh.quarantine...)
-	}
-	sort.Slice(res.Quarantined, func(i, j int) bool {
-		a, b := res.Quarantined[i], res.Quarantined[j]
-		if a.Shard != b.Shard {
-			return a.Shard < b.Shard
-		}
-		return a.Cursor.before(b.Cursor)
-	})
-
-	// Assemble Eq. 2 inputs: per-layer activeness and exec time from the
-	// performance model, masking probabilities from the campaign aggregate.
-	phaseStart(tel, "fit")
-	defer phaseEnd(tel, "fit")
-	specs, err := specsFromTrace(w, execs)
-	if err != nil {
-		return nil, err
-	}
-	perf, err := activeness.NewModel(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var layers []fit.LayerStats
-	for li, spec := range specs {
-		an, err := activeness.Analyze(cfg, perf, spec)
-		if err != nil {
-			return nil, err
-		}
-		ls := fit.LayerStats{
-			Layer:        spec.Name,
-			ExecTime:     float64(an.Breakdown.TotalCycles),
-			ProbInactive: an.ProbInactive,
-			ProbMasked:   map[accel.Category]float64{},
-		}
-		for _, m := range models {
-			p := res.Masked[m.ID]
-			if perLayer != nil && m.ID != faultmodel.GlobalControl {
-				if lp := perLayer[li][m.ID]; lp.Trials > 0 {
-					p = lp
-				}
-			}
-			ls.ProbMasked[m.Cat] = p.Mean()
-		}
-		layers = append(layers, ls)
-	}
-	raw := fit.RawFITPerFF(opts.RawFITPerMB)
-	res.Layers = layers
-	res.RawPerFF = raw
-	res.FIT, err = fit.Compute(cfg, raw, layers)
-	if err != nil {
-		return nil, err
-	}
-	res.FITProtected, err = fit.ComputeProtected(cfg, raw, layers)
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	return assembleResult(cfg, w, opts, finals, execs, models)
 }
 
 // SensitivityBounds recomputes the FIT rate under perturbed estimates: the

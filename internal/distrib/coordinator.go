@@ -1,0 +1,428 @@
+package distrib
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/campaign"
+	"fidelity/internal/model"
+	"fidelity/internal/telemetry"
+)
+
+// DefaultLeaseTTL is the heartbeat budget when CoordinatorOptions.LeaseTTL
+// is zero. Workers heartbeat at a third of the TTL, so the default tolerates
+// two consecutive lost reports before a shard is re-issued.
+const DefaultLeaseTTL = 30 * time.Second
+
+// stateVersion guards the coordinator's persisted state format.
+const stateVersion = 1
+
+// CoordinatorOptions configures NewCoordinator.
+type CoordinatorOptions struct {
+	// Spec defines the campaign. Normalized and validated by NewCoordinator.
+	Spec CampaignSpec
+	// Config is the accelerator under study (nil = accel.NVDLASmall()).
+	Config *accel.Config
+	// LeaseTTL is the per-lease heartbeat budget (0 = DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// StatePath, when non-empty, is where the coordinator durably persists
+	// its lease table and collected checkpoints (via the campaign engine's
+	// atomic-write machinery). A coordinator restarted on the same path
+	// resumes the campaign: collected shards are not re-run, live leases
+	// stay valid, and the final result is identical.
+	StatePath string
+	// Telemetry, when non-nil, receives the coordinator's own phase
+	// tracking; worker snapshots are merged into it for Status.
+	Telemetry *telemetry.Collector
+}
+
+// coordinatorState is the durable form of a coordinator. The shard tallies
+// ride inside a standard campaign checkpoint, so the file doubles as a valid
+// campaign.Checkpoint for offline inspection.
+type coordinatorState struct {
+	Version int          `json:"version"`
+	Spec    CampaignSpec `json:"spec"`
+	// Checkpoint holds every shard's last accepted state (canonical empty
+	// states for shards no worker has reported yet).
+	Checkpoint *campaign.Checkpoint `json:"checkpoint"`
+	// Reported lists shards with at least one accepted report; the rest
+	// restore with no resume state.
+	Reported []int `json:"reported,omitempty"`
+	// Degraded lists shards whose final report was Exhausted.
+	Degraded []int `json:"degraded,omitempty"`
+	// Leases are the live leases at persist time. They survive a restart so
+	// in-flight workers keep streaming without interruption.
+	Leases []persistedLease `json:"leases,omitempty"`
+	// Seq is the lease ID counter; Expired the lapsed-lease count.
+	Seq     int `json:"seq"`
+	Expired int `json:"expired,omitempty"`
+}
+
+type persistedLease struct {
+	ID       string    `json:"id"`
+	Shard    int       `json:"shard"`
+	Worker   string    `json:"worker"`
+	Deadline time.Time `json:"deadline"`
+}
+
+// Coordinator owns one campaign: it partitions the study into the engine's
+// logical shards, leases them to workers, collects streamed checkpoints,
+// re-issues shards whose leases lapse, and assembles the final StudyResult
+// from the terminal checkpoints — the exact assembly an in-process Study
+// performs, so the result is byte-identical.
+type Coordinator struct {
+	spec      CampaignSpec
+	cfg       *accel.Config
+	w         *model.Workload
+	opts      campaign.StudyOptions
+	statePath string
+	tel       *telemetry.Collector
+
+	mu       sync.Mutex
+	table    *leaseTable
+	workers  map[string]telemetry.Snapshot
+	result   *campaign.StudyResult
+	failure  error
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewCoordinator builds a coordinator for o.Spec. If o.StatePath names an
+// existing state file, the campaign resumes from it; the file must describe
+// the same spec and accelerator config, otherwise NewCoordinator refuses
+// rather than silently mixing two campaigns' shards.
+func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
+	spec := o.Spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := o.Config
+	if cfg == nil {
+		cfg = accel.NVDLASmall()
+	}
+	w, err := spec.BuildWorkload()
+	if err != nil {
+		return nil, err
+	}
+	ttl := o.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	c := &Coordinator{
+		spec:      spec,
+		cfg:       cfg,
+		w:         w,
+		opts:      spec.Options(),
+		statePath: o.StatePath,
+		tel:       o.Telemetry,
+		table:     newLeaseTable(spec.Shards, ttl),
+		workers:   map[string]telemetry.Snapshot{},
+		done:      make(chan struct{}),
+	}
+	c.opts.Telemetry = o.Telemetry
+	if c.statePath != "" {
+		if _, err := os.Stat(c.statePath); err == nil {
+			if err := c.load(); err != nil {
+				return nil, err
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("distrib: state %s: %w", c.statePath, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maybeFinishLocked()
+	if c.result == nil && c.failure == nil && c.statePath != "" {
+		if err := c.persistLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// load restores the lease table from the persisted state file.
+func (c *Coordinator) load() error {
+	blob, err := os.ReadFile(c.statePath)
+	if err != nil {
+		return fmt.Errorf("distrib: read state: %w", err)
+	}
+	var st coordinatorState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("distrib: parse state %s: %w", c.statePath, err)
+	}
+	if st.Version != stateVersion {
+		return fmt.Errorf("distrib: state %s has version %d, want %d", c.statePath, st.Version, stateVersion)
+	}
+	if st.Spec != c.spec {
+		return fmt.Errorf("distrib: state %s describes a different campaign spec; refusing to resume", c.statePath)
+	}
+	if !st.Checkpoint.Matches(c.cfg, c.w, c.opts, c.spec.Shards) {
+		return fmt.Errorf("distrib: state %s checkpoint does not match this campaign (config %s); refusing to resume",
+			c.statePath, c.cfg.Fingerprint())
+	}
+	reported := map[int]bool{}
+	for _, i := range st.Reported {
+		reported[i] = true
+	}
+	degraded := map[int]bool{}
+	for _, i := range st.Degraded {
+		degraded[i] = true
+	}
+	for i := range c.table.shards {
+		sc := st.Checkpoint.Shard[i]
+		e := &c.table.shards[i]
+		if reported[i] {
+			scCopy := sc
+			e.ckpt = &scCopy
+		}
+		switch {
+		case degraded[i]:
+			e.status = shardDegraded
+		case sc.Done:
+			e.status = shardDone
+		default:
+			e.status = shardPending
+		}
+	}
+	for _, pl := range st.Leases {
+		if pl.Shard < 0 || pl.Shard >= len(c.table.shards) {
+			continue
+		}
+		e := &c.table.shards[pl.Shard]
+		if e.status.terminal() {
+			continue
+		}
+		e.status = shardLeased
+		e.lease = pl.ID
+		c.table.leases[pl.ID] = &leaseEntry{id: pl.ID, shard: pl.Shard, worker: pl.Worker, deadline: pl.Deadline}
+	}
+	c.table.seq = st.Seq
+	c.table.expired = st.Expired
+	return nil
+}
+
+// persistLocked writes the current lease table durably. Callers hold c.mu.
+func (c *Coordinator) persistLocked() error {
+	if c.statePath == "" {
+		return nil
+	}
+	st := coordinatorState{
+		Version: stateVersion,
+		Spec:    c.spec,
+		Seq:     c.table.seq,
+		Expired: c.table.expired,
+	}
+	shards := make([]campaign.ShardCheckpoint, len(c.table.shards))
+	for i := range c.table.shards {
+		e := &c.table.shards[i]
+		if e.ckpt != nil {
+			shards[i] = *e.ckpt
+			st.Reported = append(st.Reported, i)
+		} else {
+			shards[i] = campaign.NewShardCheckpoint(i)
+		}
+		if e.status == shardDegraded {
+			st.Degraded = append(st.Degraded, i)
+		}
+	}
+	st.Checkpoint = campaign.NewCheckpoint(c.cfg, c.w, c.opts, shards)
+	for _, le := range c.table.leases {
+		st.Leases = append(st.Leases, persistedLease{ID: le.id, Shard: le.shard, Worker: le.worker, Deadline: le.deadline})
+	}
+	err := campaign.RetryIO(c.tel, campaign.DefaultIORetries, campaign.DefaultIOBackoff, func() error {
+		return campaign.AtomicWriteJSON(c.statePath, &st)
+	})
+	if err != nil {
+		return fmt.Errorf("distrib: persist state: %w", err)
+	}
+	return nil
+}
+
+// maybeFinishLocked assembles the StudyResult once every shard is terminal.
+// Callers hold c.mu.
+func (c *Coordinator) maybeFinishLocked() {
+	if c.result != nil || c.failure != nil || !c.table.terminal() {
+		return
+	}
+	res, err := campaign.AssembleResult(c.cfg, c.w, c.opts, c.table.checkpoints())
+	if err != nil {
+		c.failLocked(err)
+		return
+	}
+	c.result = res
+	c.doneOnce.Do(func() { close(c.done) })
+}
+
+// failLocked records a terminal campaign failure. Callers hold c.mu.
+func (c *Coordinator) failLocked(err error) {
+	if c.failure == nil && c.result == nil {
+		c.failure = err
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+}
+
+// finished reports terminal state. Callers hold c.mu.
+func (c *Coordinator) finishedLocked() bool { return c.result != nil || c.failure != nil }
+
+// Result blocks until the campaign finishes (every shard terminal and the
+// result assembled) or ctx is cancelled.
+func (c *Coordinator) Result(ctx context.Context) (*campaign.StudyResult, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.done:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return nil, c.failure
+	}
+	return c.result, nil
+}
+
+// Spec returns the normalized campaign spec.
+func (c *Coordinator) Spec() CampaignSpec { return c.spec }
+
+// Status summarizes campaign progress: shard statuses, deduplicated logical
+// experiments, and the merged telemetry of every reporting worker.
+func (c *Coordinator) Status() StatusReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.table.sweep(time.Now())
+	counts, exps := c.table.counts()
+	st := StatusReply{
+		Spec:        c.spec,
+		Shards:      counts,
+		Expired:     c.table.expired,
+		Experiments: exps,
+		Completed:   c.result != nil,
+	}
+	if c.failure != nil {
+		st.Failed = c.failure.Error()
+	}
+	snaps := make([]telemetry.Snapshot, 0, len(c.workers))
+	for _, s := range c.workers {
+		snaps = append(snaps, s)
+	}
+	st.Telemetry = telemetry.Merge("coordinator", snaps...)
+	return st
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/campaign", c.handleCampaign)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/report", c.handleReport)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	mux.HandleFunc("GET /v1/result", c.handleResult)
+	return mux
+}
+
+func (c *Coordinator) handleCampaign(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, HelloReply{
+		Spec:        c.spec,
+		Config:      *c.cfg,
+		Fingerprint: c.cfg.Fingerprint(),
+	})
+}
+
+func (c *Coordinator) handleLease(rw http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finishedLocked() {
+		writeJSON(rw, http.StatusOK, LeaseReply{Done: true})
+		return
+	}
+	lease := c.table.acquire(req.Worker, time.Now())
+	if lease == nil {
+		writeJSON(rw, http.StatusOK, LeaseReply{RetryAfterMS: c.table.ttl.Milliseconds() / 4})
+		return
+	}
+	if err := c.persistLocked(); err != nil {
+		c.failLocked(err)
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(rw, http.StatusOK, LeaseReply{Lease: lease})
+}
+
+func (c *Coordinator) handleReport(rw http.ResponseWriter, r *http.Request) {
+	var req ReportRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, err.Error(), http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Telemetry counts work executed wherever it ran, so record it even when
+	// the lease turns out to be stale.
+	if req.Telemetry != nil && req.Worker != "" {
+		c.workers[req.Worker] = *req.Telemetry
+	}
+	if req.Error != "" {
+		c.failLocked(fmt.Errorf("distrib: worker %s failed shard %d: %s", req.Worker, req.Shard.Index, req.Error))
+	}
+	if c.finishedLocked() {
+		writeJSON(rw, http.StatusOK, ReportReply{Cancel: true, Done: true})
+		return
+	}
+	prev := c.shardCheckpointLocked(req.Shard.Index)
+	ok := c.table.report(&req, time.Now())
+	if ok {
+		advanced := prev == nil || prev.Experiments != req.Shard.Experiments || prev.Cursor != req.Shard.Cursor
+		if req.Final || advanced {
+			if err := c.persistLocked(); err != nil {
+				c.failLocked(err)
+				http.Error(rw, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		c.maybeFinishLocked()
+	}
+	writeJSON(rw, http.StatusOK, ReportReply{OK: ok, Cancel: !ok, Done: c.finishedLocked()})
+}
+
+// shardCheckpointLocked returns shard i's last accepted checkpoint, nil when
+// out of range or never reported. Callers hold c.mu.
+func (c *Coordinator) shardCheckpointLocked(i int) *campaign.ShardCheckpoint {
+	if i < 0 || i >= len(c.table.shards) {
+		return nil
+	}
+	return c.table.shards[i].ckpt
+}
+
+func (c *Coordinator) handleStatus(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, http.StatusOK, c.Status())
+}
+
+func (c *Coordinator) handleResult(rw http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.failure != nil:
+		http.Error(rw, c.failure.Error(), http.StatusInternalServerError)
+	case c.result == nil:
+		http.Error(rw, "campaign incomplete", http.StatusNotFound)
+	default:
+		writeJSON(rw, http.StatusOK, c.result)
+	}
+}
+
+func writeJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	json.NewEncoder(rw).Encode(v)
+}

@@ -1,0 +1,385 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/campaign"
+	"fidelity/internal/telemetry"
+)
+
+// testSpec is a small-but-real campaign: every fault model, two inputs,
+// eight relocatable shards.
+func testSpec() CampaignSpec {
+	return CampaignSpec{
+		Workload:     "mobilenet",
+		Precision:    "fp16",
+		WorkloadSeed: 42,
+		Tolerance:    0.05,
+		Samples:      48,
+		Inputs:       2,
+		Seed:         7,
+		Shards:       8,
+	}.Normalize()
+}
+
+// baselineJSON runs the campaign in-process through campaign.Study and
+// returns the StudyResult's exact JSON encoding — the bytes every
+// distributed configuration must reproduce.
+func baselineJSON(t *testing.T, spec CampaignSpec) []byte {
+	t.Helper()
+	w, err := spec.BuildWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Study(context.Background(), accel.NVDLASmall(), w, spec.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func resultJSON(t *testing.T, res *campaign.StudyResult) []byte {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// startWorkers launches n Work loops against base and returns a wait func
+// that fails the test on any worker error.
+func startWorkers(ctx context.Context, t *testing.T, base string, n int, prefix string) func() {
+	t.Helper()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Work(ctx, WorkerOptions{
+				BaseURL:      base,
+				ID:           fmt.Sprintf("%s-%d", prefix, i),
+				Poll:         10 * time.Millisecond,
+				Telemetry:    telemetry.New(),
+				PublishEvery: 4,
+			})
+		}(i)
+	}
+	return func() {
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("worker %s-%d: %v", prefix, i, err)
+			}
+		}
+	}
+}
+
+// TestDistribDeterminism is the fabric's core contract: a campaign executed
+// through the coordinator by 1, 2, or 4 workers assembles a StudyResult
+// byte-identical to an in-process campaign.Study with the same (Seed,
+// Shards).
+func TestDistribDeterminism(t *testing.T) {
+	spec := testSpec()
+	want := baselineJSON(t, spec)
+
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			c, err := NewCoordinator(CoordinatorOptions{Spec: spec, LeaseTTL: 2 * time.Second})
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(c.Handler())
+			defer srv.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			wait := startWorkers(ctx, t, srv.URL, workers, "w")
+			res, err := c.Result(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wait()
+
+			if got := resultJSON(t, res); string(got) != string(want) {
+				t.Errorf("distributed result with %d workers differs from in-process baseline:\n got %s\nwant %s",
+					workers, got, want)
+			}
+			st := c.Status()
+			if !st.Completed || st.Shards.Done != spec.Shards {
+				t.Errorf("terminal status = %+v", st)
+			}
+			if st.Telemetry.Experiments == 0 || len(st.Telemetry.Sources) != workers {
+				t.Errorf("merged telemetry = %+v, want experiments from %d sources", st.Telemetry, workers)
+			}
+
+			// The HTTP result endpoint serves the same bytes (modulo the
+			// encoder's trailing newline).
+			resp, err := http.Get(srv.URL + "/v1/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var over *campaign.StudyResult
+			if err := json.NewDecoder(resp.Body).Decode(&over); err != nil {
+				t.Fatal(err)
+			}
+			if got := resultJSON(t, over); string(got) != string(want) {
+				t.Errorf("/v1/result round-trip differs from baseline")
+			}
+		})
+	}
+}
+
+// postJSON is a bare test client for hand-driving the wire protocol.
+func postJSON(t *testing.T, url string, in, out any) {
+	t.Helper()
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistribWorkerDeath kills a worker mid-shard: it leases a shard,
+// streams partial progress, and vanishes without a final report. The lease
+// must expire, the shard re-issue to a healthy worker resuming from the
+// streamed checkpoint, and the final result still match the in-process
+// baseline byte for byte.
+func TestDistribWorkerDeath(t *testing.T) {
+	spec := testSpec()
+	want := baselineJSON(t, spec)
+
+	const ttl = 250 * time.Millisecond
+	c, err := NewCoordinator(CoordinatorOptions{Spec: spec, LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	// The victim: lease shard 0 by hand, stream exactly one progress
+	// checkpoint, then die without finalizing. Deterministic regardless of
+	// shard runtime — the final report is simply never sent, so the only way
+	// the campaign can finish is lease expiry + re-issue.
+	var reply LeaseReply
+	postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: "victim"}, &reply)
+	if reply.Lease == nil {
+		t.Fatal("no lease granted to the victim at campaign start")
+	}
+	lease := reply.Lease
+	w, err := spec.BuildWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vctx, vcancel := context.WithCancel(context.Background())
+	defer vcancel()
+	var streamed atomic.Bool
+	_, runErr := campaign.RunShard(vctx, c.cfg, w, spec.Options(), campaign.ShardRun{
+		Index:        lease.Shard,
+		Resume:       lease.Resume,
+		Interval:     10 * time.Millisecond,
+		PublishEvery: 1,
+		OnProgress: func(s campaign.ShardCheckpoint) {
+			// Runs on the shard's streaming goroutine: report best-effort (no
+			// t.Fatal off the test goroutine) and die after the first accepted
+			// checkpoint.
+			if s.Experiments == 0 || streamed.Load() {
+				return
+			}
+			blob, err := json.Marshal(ReportRequest{Worker: "victim", LeaseID: lease.ID, Shard: s})
+			if err != nil {
+				return
+			}
+			resp, err := http.Post(srv.URL+"/v1/report", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			var rep ReportReply
+			if json.NewDecoder(resp.Body).Decode(&rep) == nil && rep.OK {
+				streamed.Store(true)
+				vcancel()
+			}
+		},
+	})
+	if !streamed.Load() {
+		t.Fatal("victim never streamed a progress checkpoint")
+	}
+	if runErr != nil && !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("victim run error: %v", runErr)
+	}
+
+	// Healthy workers finish the campaign, including the victim's abandoned
+	// shard once its lease lapses.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	wait := startWorkers(ctx, t, srv.URL, 2, "healthy")
+	res, err := c.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+
+	if got := resultJSON(t, res); string(got) != string(want) {
+		t.Errorf("result after worker death differs from in-process baseline:\n got %s\nwant %s", got, want)
+	}
+	st := c.Status()
+	if st.Expired < 1 {
+		t.Errorf("expired leases = %d, want >= 1 (the victim's lease must have lapsed)", st.Expired)
+	}
+}
+
+// TestDistribCoordinatorRestart stops the coordinator mid-campaign and
+// brings up a replacement on the same persisted state file. The replacement
+// must resume from the collected checkpoints (not from scratch), honor the
+// in-flight leases, and converge to the byte-identical baseline result.
+func TestDistribCoordinatorRestart(t *testing.T) {
+	spec := testSpec()
+	want := baselineJSON(t, spec)
+	statePath := filepath.Join(t.TempDir(), "coordinator.json")
+
+	copts := CoordinatorOptions{Spec: spec, LeaseTTL: 2 * time.Second, StatePath: statePath}
+	c1, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A stable URL whose backing handler we can swap: c1 → outage → c2.
+	type hbox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(hbox{c1.Handler()})
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		handler.Load().(hbox).h.ServeHTTP(rw, r)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	wait := startWorkers(ctx, t, srv.URL, 2, "w")
+
+	// Let the campaign make real progress, then take the coordinator down.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if st := c1.Status(); st.Experiments > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign made no progress under c1")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	handler.Store(hbox{http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		http.Error(rw, "coordinator restarting", http.StatusServiceUnavailable)
+	})})
+
+	// The replacement loads the persisted lease table and checkpoints...
+	c2, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Status(); st.Experiments == 0 {
+		t.Error("restarted coordinator resumed with zero experiments; persisted checkpoints were lost")
+	}
+	// ...and the workers, which retried through the outage, finish against it.
+	handler.Store(hbox{c2.Handler()})
+	res, err := c2.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+
+	if got := resultJSON(t, res); string(got) != string(want) {
+		t.Errorf("result after coordinator restart differs from in-process baseline:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCampaignSpecValidate covers the spec's input rejection.
+func TestCampaignSpecValidate(t *testing.T) {
+	ok := testSpec()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*CampaignSpec)
+	}{
+		{"no workload", func(s *CampaignSpec) { s.Workload = "" }},
+		{"zero samples", func(s *CampaignSpec) { s.Samples = 0 }},
+		{"negative samples", func(s *CampaignSpec) { s.Samples = -4 }},
+		{"zero inputs", func(s *CampaignSpec) { s.Inputs = 0 }},
+		{"negative shards", func(s *CampaignSpec) { s.Shards = -1 }},
+		{"bad precision", func(s *CampaignSpec) { s.Precision = "fp12" }},
+	}
+	for _, tc := range cases {
+		s := testSpec()
+		tc.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: spec accepted", tc.name)
+		}
+	}
+}
+
+// TestLeaseTableStaleReport: once a lease expires and the shard is re-issued,
+// the original holder's reports are rejected so a resurrected worker cannot
+// clobber the shard's new owner.
+func TestLeaseTableStaleReport(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newLeaseTable(2, time.Second)
+
+	l1 := tab.acquire("a", now)
+	if l1 == nil || l1.Shard != 0 {
+		t.Fatalf("first acquire = %+v", l1)
+	}
+	// Heartbeats extend the lease.
+	sc := campaign.NewShardCheckpoint(0)
+	sc.Experiments = 5
+	if !tab.report(&ReportRequest{Worker: "a", LeaseID: l1.ID, Shard: sc}, now.Add(500*time.Millisecond)) {
+		t.Fatal("live heartbeat rejected")
+	}
+	// Past the extended deadline the lease lapses and the shard re-issues,
+	// resuming from the streamed checkpoint.
+	l2 := tab.acquire("b", now.Add(3*time.Second))
+	if l2 == nil || l2.Shard != 0 {
+		t.Fatalf("re-acquire after expiry = %+v", l2)
+	}
+	if l2.Resume == nil || l2.Resume.Experiments != 5 {
+		t.Errorf("re-issued lease resume = %+v, want the streamed checkpoint", l2.Resume)
+	}
+	if tab.expired != 1 {
+		t.Errorf("expired = %d, want 1", tab.expired)
+	}
+	// The resurrected original holder is told no.
+	if tab.report(&ReportRequest{Worker: "a", LeaseID: l1.ID, Shard: sc, Final: true}, now.Add(3*time.Second)) {
+		t.Error("stale lease report accepted")
+	}
+	if tab.shards[0].status != shardLeased || tab.shards[0].lease != l2.ID {
+		t.Errorf("shard 0 = %+v after stale report", tab.shards[0])
+	}
+}

@@ -1,0 +1,172 @@
+package distrib
+
+import (
+	"fmt"
+	"time"
+
+	"fidelity/internal/campaign"
+)
+
+// shardStatus is one shard's place in the lease lifecycle.
+type shardStatus int
+
+const (
+	// shardPending: not currently leased; available for (re-)issue.
+	shardPending shardStatus = iota
+	// shardLeased: a live lease covers it.
+	shardLeased
+	// shardDone: a final report completed it.
+	shardDone
+	// shardDegraded: a final report marked it exhausted (failure budget
+	// spent). Terminal, but the assembled result will be Partial.
+	shardDegraded
+)
+
+func (s shardStatus) terminal() bool { return s == shardDone || s == shardDegraded }
+
+type shardEntry struct {
+	status shardStatus
+	// ckpt is the last coordinator-accepted checkpoint (nil until a worker
+	// first reports). Re-issued leases resume from it, so streamed progress
+	// survives a lapsed worker.
+	ckpt *campaign.ShardCheckpoint
+	// lease is the current lease ID while shardLeased.
+	lease string
+}
+
+type leaseEntry struct {
+	id       string
+	shard    int
+	worker   string
+	deadline time.Time
+}
+
+// leaseTable tracks shard ownership. It is not safe for concurrent use; the
+// coordinator serializes access under its mutex. Expiry is lazy: lapsed
+// leases are swept at the head of every operation, so no background timer is
+// needed and the table is trivially restorable from a persisted snapshot.
+type leaseTable struct {
+	ttl     time.Duration
+	seq     int
+	shards  []shardEntry
+	leases  map[string]*leaseEntry
+	expired int
+}
+
+func newLeaseTable(n int, ttl time.Duration) *leaseTable {
+	return &leaseTable{
+		ttl:    ttl,
+		shards: make([]shardEntry, n),
+		leases: map[string]*leaseEntry{},
+	}
+}
+
+// sweep drops lapsed leases, returning their shards to the pending pool with
+// their last accepted checkpoints intact.
+func (t *leaseTable) sweep(now time.Time) {
+	for id, le := range t.leases {
+		if now.After(le.deadline) {
+			e := &t.shards[le.shard]
+			if e.lease == id {
+				e.status = shardPending
+				e.lease = ""
+			}
+			delete(t.leases, id)
+			t.expired++
+		}
+	}
+}
+
+// acquire grants the lowest-indexed pending shard to worker, or nil when
+// every shard is leased or terminal.
+func (t *leaseTable) acquire(worker string, now time.Time) *Lease {
+	t.sweep(now)
+	for i := range t.shards {
+		e := &t.shards[i]
+		if e.status != shardPending {
+			continue
+		}
+		t.seq++
+		id := fmt.Sprintf("lease-%d", t.seq)
+		e.status = shardLeased
+		e.lease = id
+		t.leases[id] = &leaseEntry{id: id, shard: i, worker: worker, deadline: now.Add(t.ttl)}
+		return &Lease{ID: id, Shard: i, TTLMS: t.ttl.Milliseconds(), Resume: e.ckpt}
+	}
+	return nil
+}
+
+// report applies a worker's checkpoint to the table. Only the shard's
+// current lease holder is accepted; anything else — an expired lease, a
+// lease superseded by a re-issue — is rejected so a resurrected worker
+// cannot clobber a shard that moved on. Accepted non-final reports extend
+// the lease (heartbeat); accepted final reports make the shard terminal.
+func (t *leaseTable) report(req *ReportRequest, now time.Time) bool {
+	t.sweep(now)
+	le := t.leases[req.LeaseID]
+	if le == nil || le.worker != req.Worker || le.shard != req.Shard.Index {
+		return false
+	}
+	e := &t.shards[le.shard]
+	e.ckpt = &req.Shard
+	if !req.Final {
+		le.deadline = now.Add(t.ttl)
+		return true
+	}
+	delete(t.leases, req.LeaseID)
+	e.lease = ""
+	switch {
+	case req.Exhausted:
+		e.status = shardDegraded
+	case req.Shard.Done:
+		e.status = shardDone
+	default:
+		// A final report that neither completed nor degraded the shard:
+		// the worker gave the lease back. Re-issue from its checkpoint.
+		e.status = shardPending
+	}
+	return true
+}
+
+// terminal reports whether every shard is done or degraded.
+func (t *leaseTable) terminal() bool {
+	for i := range t.shards {
+		if !t.shards[i].status.terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkpoints returns one terminal checkpoint per shard, in index order.
+// Only valid once terminal() holds (every terminal shard has reported at
+// least once, so every ckpt is non-nil).
+func (t *leaseTable) checkpoints() []campaign.ShardCheckpoint {
+	out := make([]campaign.ShardCheckpoint, len(t.shards))
+	for i := range t.shards {
+		out[i] = *t.shards[i].ckpt
+	}
+	return out
+}
+
+// counts summarizes shard statuses and total accepted experiments.
+func (t *leaseTable) counts() (ShardCounts, int) {
+	var c ShardCounts
+	exps := 0
+	for i := range t.shards {
+		switch t.shards[i].status {
+		case shardPending:
+			c.Pending++
+		case shardLeased:
+			c.Leased++
+		case shardDone:
+			c.Done++
+		case shardDegraded:
+			c.Degraded++
+		}
+		if t.shards[i].ckpt != nil {
+			exps += t.shards[i].ckpt.Experiments
+		}
+	}
+	return c, exps
+}

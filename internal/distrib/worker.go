@@ -1,0 +1,285 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/campaign"
+	"fidelity/internal/model"
+	"fidelity/internal/telemetry"
+)
+
+// DefaultPoll is the worker's lease-poll cadence and transient-error backoff
+// base when WorkerOptions.Poll is zero.
+const DefaultPoll = 500 * time.Millisecond
+
+// WorkerOptions configures Work.
+type WorkerOptions struct {
+	// BaseURL is the coordinator, e.g. "http://host:9090".
+	BaseURL string
+	// ID names this worker in leases, reports and telemetry attribution.
+	ID string
+	// Poll is the idle lease-poll cadence and the base of the transient
+	// retry backoff (0 = DefaultPoll).
+	Poll time.Duration
+	// HTTPClient overrides http.DefaultClient (tests, timeouts).
+	HTTPClient *http.Client
+	// Telemetry, when non-nil, collects this worker's execution telemetry;
+	// its source is set to ID and snapshots ride along on every report.
+	Telemetry *telemetry.Collector
+	// PublishEvery overrides the experiment cadence between streamed shard
+	// checkpoints (0 = the engine default). Lower means a re-leased shard
+	// loses less work, at the cost of chattier reports.
+	PublishEvery int
+}
+
+// worker is the resolved client state for one Work call.
+type worker struct {
+	base string
+	id   string
+	poll time.Duration
+	hc   *http.Client
+	tel  *telemetry.Collector
+	pub  int
+
+	cfg  *accel.Config
+	w    *model.Workload
+	opts campaign.StudyOptions
+	ttl  time.Duration
+}
+
+// Work runs a worker loop against the coordinator at o.BaseURL until the
+// campaign finishes or ctx is cancelled: fetch the campaign spec, then
+// repeatedly lease a shard, execute it via campaign.RunShard (streaming
+// checkpoints back as heartbeats), and report its terminal state. A lease
+// the coordinator cancels (it lapsed and was re-issued elsewhere) is
+// abandoned mid-shard and the loop polls for fresh work; transient HTTP
+// failures are retried with exponential backoff, so the worker survives
+// coordinator restarts.
+func Work(ctx context.Context, o WorkerOptions) error {
+	if o.BaseURL == "" {
+		return fmt.Errorf("distrib: worker needs a coordinator BaseURL")
+	}
+	if o.ID == "" {
+		return fmt.Errorf("distrib: worker needs an ID")
+	}
+	wk := &worker{
+		base: strings.TrimRight(o.BaseURL, "/"),
+		id:   o.ID,
+		poll: o.Poll,
+		hc:   o.HTTPClient,
+		tel:  o.Telemetry,
+		pub:  o.PublishEvery,
+	}
+	if wk.poll <= 0 {
+		wk.poll = DefaultPoll
+	}
+	if wk.hc == nil {
+		wk.hc = http.DefaultClient
+	}
+	if wk.tel != nil {
+		wk.tel.SetSource(o.ID)
+	}
+
+	var hello HelloReply
+	if err := wk.retry(ctx, func() error { return wk.get(ctx, "/v1/campaign", &hello) }); err != nil {
+		return err
+	}
+	if fp := hello.Config.Fingerprint(); fp != hello.Fingerprint {
+		return fmt.Errorf("distrib: campaign config decoded with fingerprint %s, coordinator has %s", fp, hello.Fingerprint)
+	}
+	spec := hello.Spec.Normalize()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	w, err := spec.BuildWorkload()
+	if err != nil {
+		return err
+	}
+	wk.cfg = &hello.Config
+	wk.w = w
+	wk.opts = spec.Options()
+	wk.opts.Telemetry = wk.tel
+
+	for {
+		var reply LeaseReply
+		if err := wk.retry(ctx, func() error { return wk.post(ctx, "/v1/lease", LeaseRequest{Worker: wk.id}, &reply) }); err != nil {
+			return err
+		}
+		switch {
+		case reply.Done:
+			return nil
+		case reply.Lease == nil:
+			delay := wk.poll
+			if reply.RetryAfterMS > 0 {
+				delay = time.Duration(reply.RetryAfterMS) * time.Millisecond
+			}
+			if err := sleep(ctx, delay); err != nil {
+				return err
+			}
+		default:
+			done, err := wk.execute(ctx, reply.Lease)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
+			}
+		}
+	}
+}
+
+// execute runs one leased shard to a terminal report (or abandons it when
+// the coordinator cancels the lease). It returns done=true once the
+// coordinator reports the campaign finished.
+func (wk *worker) execute(ctx context.Context, l *Lease) (done bool, err error) {
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	wk.ttl = time.Duration(l.TTLMS) * time.Millisecond
+	heartbeat := wk.ttl / 3
+	if heartbeat <= 0 {
+		heartbeat = wk.poll
+	}
+	sc, runErr := campaign.RunShard(leaseCtx, wk.cfg, wk.w, wk.opts, campaign.ShardRun{
+		Index:        l.Shard,
+		Resume:       l.Resume,
+		Interval:     heartbeat,
+		PublishEvery: wk.pub,
+		OnProgress: func(s campaign.ShardCheckpoint) {
+			// Heartbeat: stream the checkpoint; a Cancel or Done reply stops
+			// the shard at its next experiment boundary. Send errors are
+			// tolerated — the lease simply risks expiry until one gets through.
+			var rep ReportReply
+			req := ReportRequest{Worker: wk.id, LeaseID: l.ID, Shard: s, Telemetry: wk.snapshot()}
+			if err := wk.post(leaseCtx, "/v1/report", req, &rep); err == nil && (rep.Cancel || rep.Done) {
+				cancel()
+			}
+		},
+	})
+
+	final := ReportRequest{Worker: wk.id, LeaseID: l.ID, Shard: sc, Final: true, Telemetry: wk.snapshot()}
+	switch {
+	case runErr == nil || errors.Is(runErr, campaign.ErrShardExhausted):
+		final.Exhausted = errors.Is(runErr, campaign.ErrShardExhausted)
+	case leaseCtx.Err() != nil && ctx.Err() == nil:
+		// The coordinator cancelled the lease mid-shard: the shard has moved
+		// on, so there is nothing to finalize. Poll for fresh work.
+		return false, nil
+	case ctx.Err() != nil:
+		// Worker shutdown: vanish without a final report. The lease expires
+		// and the coordinator re-issues the shard from our last heartbeat.
+		return false, ctx.Err()
+	default:
+		// Campaign failure (bad configuration, dataset error): report it so
+		// the coordinator fails the campaign, then exit.
+		final.Error = runErr.Error()
+	}
+	var rep ReportReply
+	if err := wk.retry(ctx, func() error { return wk.post(ctx, "/v1/report", final, &rep) }); err != nil {
+		return false, err
+	}
+	if final.Error != "" {
+		return false, runErr
+	}
+	return rep.Done, nil
+}
+
+// snapshot returns the worker's current telemetry, nil when uncollected.
+func (wk *worker) snapshot() *telemetry.Snapshot {
+	if wk.tel == nil {
+		return nil
+	}
+	s := wk.tel.Snapshot()
+	return &s
+}
+
+func (wk *worker) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return wk.do(req, out)
+}
+
+func (wk *worker) post(ctx context.Context, path string, in, out any) error {
+	blob, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.base+path, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return wk.do(req, out)
+}
+
+// transientError marks a failure worth retrying: the coordinator being down
+// or restarting, not a protocol violation.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+func (wk *worker) do(req *http.Request, out any) error {
+	resp, err := wk.hc.Do(req)
+	if err != nil {
+		return &transientError{err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return &transientError{err}
+	}
+	if resp.StatusCode >= 500 {
+		return &transientError{fmt.Errorf("distrib: %s: %s: %s", req.URL.Path, resp.Status, bytes.TrimSpace(body))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("distrib: %s: %s: %s", req.URL.Path, resp.Status, bytes.TrimSpace(body))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("distrib: %s: decode reply: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// retry runs fn until it succeeds, fails permanently, or ctx is cancelled.
+// Transient failures back off exponentially from Poll, capped at 16×.
+func (wk *worker) retry(ctx context.Context, fn func() error) error {
+	backoff := wk.poll
+	for {
+		err := fn()
+		var te *transientError
+		if err == nil || !errors.As(err, &te) {
+			return err
+		}
+		if err := sleep(ctx, backoff); err != nil {
+			return err
+		}
+		if backoff < 16*wk.poll {
+			backoff *= 2
+		}
+	}
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

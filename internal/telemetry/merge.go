@@ -1,0 +1,113 @@
+package telemetry
+
+import "sort"
+
+// Merge aggregates point-in-time snapshots from independent collectors —
+// typically one per distributed worker — into one campaign-wide view for a
+// coordinator's progress stream or run manifest. Counters (experiments,
+// per-model outcomes, recovery, replay, phase seconds) are summed; the
+// elapsed clock is the maximum, since the constituents ran concurrently;
+// rates are recomputed from the merged totals. The merged snapshot is
+// labelled source and records the constituent sources, sorted, so every
+// line of a merged JSONL stream stays attributable.
+//
+// Merged counters measure work *executed*, not logical campaign progress: a
+// shard that a worker ran partially before its lease expired and another
+// worker re-ran is counted by both. Campaign results deduplicate by shard
+// checkpoint; telemetry deliberately does not.
+func Merge(source string, snaps ...Snapshot) Snapshot {
+	m := Snapshot{Source: source}
+	sources := map[string]bool{}
+	models := map[string]OutcomeCounts{}
+	phaseOrder := []string{}
+	phases := map[string]*PhaseSnapshot{}
+	var rec RecoverySnapshot
+	var rep ReplaySnapshot
+	haveRec, haveRep := false, false
+	for _, s := range snaps {
+		if s.Source != "" {
+			sources[s.Source] = true
+		}
+		for _, src := range s.Sources {
+			sources[src] = true
+		}
+		if s.ElapsedSec > m.ElapsedSec {
+			m.ElapsedSec = s.ElapsedSec
+		}
+		m.Experiments += s.Experiments
+		for name, oc := range s.Models {
+			t := models[name]
+			t.Masked += oc.Masked
+			t.OutputError += oc.OutputError
+			t.SystemAnomaly += oc.SystemAnomaly
+			t.FrameworkFault += oc.FrameworkFault
+			t.Other += oc.Other
+			models[name] = t
+		}
+		for _, p := range s.Phases {
+			t := phases[p.Name]
+			if t == nil {
+				t = &PhaseSnapshot{Name: p.Name}
+				phases[p.Name] = t
+				phaseOrder = append(phaseOrder, p.Name)
+			}
+			t.Seconds += p.Seconds
+			t.Running = t.Running || p.Running
+		}
+		if r := s.Recovery; r != nil {
+			haveRec = true
+			rec.Quarantined += r.Quarantined
+			rec.PanicsRecovered += r.PanicsRecovered
+			rec.Timeouts += r.Timeouts
+			rec.IORetries += r.IORetries
+			rec.Shards = append(rec.Shards, r.Shards...)
+		}
+		if r := s.Replay; r != nil {
+			haveRep = true
+			rep.LayersSkipped += r.LayersSkipped
+			rep.LayersRecomputed += r.LayersRecomputed
+			rep.ArenaReuses += r.ArenaReuses
+			rep.MACsAvoidedEst += r.MACsAvoidedEst
+		}
+	}
+	if m.ElapsedSec > 0 {
+		m.PerSec = float64(m.Experiments) / m.ElapsedSec
+	}
+	if len(models) > 0 {
+		m.Models = models
+	}
+	for _, name := range phaseOrder {
+		m.Phases = append(m.Phases, *phases[name])
+	}
+	if haveRec {
+		// A shard may appear under several workers (re-leased after an
+		// expiry); keep the entry with the most failures charged, which is
+		// the latest view of that shard's budget.
+		byShard := map[int]ShardBudgetState{}
+		for _, sb := range rec.Shards {
+			if have, ok := byShard[sb.Shard]; !ok || sb.Failures > have.Failures {
+				byShard[sb.Shard] = sb
+			}
+		}
+		rec.Shards = rec.Shards[:0]
+		for _, sb := range byShard {
+			rec.Shards = append(rec.Shards, sb)
+		}
+		sort.Slice(rec.Shards, func(i, j int) bool { return rec.Shards[i].Shard < rec.Shards[j].Shard })
+		if len(rec.Shards) == 0 {
+			rec.Shards = nil
+		}
+		m.Recovery = &rec
+	}
+	if haveRep {
+		if total := rep.LayersSkipped + rep.LayersRecomputed; total > 0 {
+			rep.CacheHitRatio = float64(rep.LayersSkipped) / float64(total)
+		}
+		m.Replay = &rep
+	}
+	for src := range sources {
+		m.Sources = append(m.Sources, src)
+	}
+	sort.Strings(m.Sources)
+	return m
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotSource: a collector's snapshots carry its attribution label,
+// and the JSONL form exposes it as "source" (omitted when unset).
+func TestSnapshotSource(t *testing.T) {
+	c := New()
+	c.RecordExperiment("psum", OutcomeMasked)
+	if got := c.Snapshot().Source; got != "" {
+		t.Errorf("unattributed collector snapshot has source %q", got)
+	}
+	blob, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), `"source"`) {
+		t.Errorf("unattributed snapshot serializes a source field: %s", blob)
+	}
+
+	c.SetSource("worker-7")
+	snap := c.Snapshot()
+	if snap.Source != "worker-7" {
+		t.Errorf("snapshot source = %q, want worker-7", snap.Source)
+	}
+	blob, err = json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"source":"worker-7"`) {
+		t.Errorf("snapshot JSON missing source attribution: %s", blob)
+	}
+}
+
+// TestMerge: worker snapshots merge into one attributable coordinator view —
+// counters sum, the clock is the concurrent maximum, rates recompute, and
+// the constituent sources are recorded sorted.
+func TestMerge(t *testing.T) {
+	a := Snapshot{
+		Source: "worker-b", ElapsedSec: 10, Experiments: 100,
+		Models: map[string]OutcomeCounts{
+			"psum": {Masked: 60, OutputError: 40},
+		},
+		Phases:   []PhaseSnapshot{{Name: "inject", Seconds: 9}},
+		Recovery: &RecoverySnapshot{Quarantined: 2, PanicsRecovered: 2, Shards: []ShardBudgetState{{Shard: 3, Failures: 1, Budget: 16}}},
+		Replay:   &ReplaySnapshot{LayersSkipped: 30, LayersRecomputed: 10, CacheHitRatio: 0.75},
+	}
+	b := Snapshot{
+		Source: "worker-a", ElapsedSec: 4, Experiments: 50,
+		Models: map[string]OutcomeCounts{
+			"psum":  {Masked: 20, OutputError: 30},
+			"input": {Masked: 5},
+		},
+		Phases:   []PhaseSnapshot{{Name: "inject", Seconds: 3, Running: true}},
+		Recovery: &RecoverySnapshot{Quarantined: 1, Timeouts: 1, Shards: []ShardBudgetState{{Shard: 3, Failures: 2, Budget: 16}}},
+		Replay:   &ReplaySnapshot{LayersSkipped: 10, LayersRecomputed: 10, CacheHitRatio: 0.5},
+	}
+
+	m := Merge("coordinator", a, b)
+	if m.Source != "coordinator" {
+		t.Errorf("merged source = %q", m.Source)
+	}
+	if want := []string{"worker-a", "worker-b"}; !reflect.DeepEqual(m.Sources, want) {
+		t.Errorf("merged sources = %v, want %v", m.Sources, want)
+	}
+	if m.Experiments != 150 {
+		t.Errorf("merged experiments = %d, want 150", m.Experiments)
+	}
+	if m.ElapsedSec != 10 {
+		t.Errorf("merged elapsed = %v, want the concurrent max 10", m.ElapsedSec)
+	}
+	if m.PerSec != 15 {
+		t.Errorf("merged rate = %v, want 150/10", m.PerSec)
+	}
+	if got := m.Models["psum"]; got.Masked != 80 || got.OutputError != 70 {
+		t.Errorf("merged psum outcomes = %+v", got)
+	}
+	if got := m.Models["input"]; got.Masked != 5 {
+		t.Errorf("merged input outcomes = %+v", got)
+	}
+	if len(m.Phases) != 1 || m.Phases[0].Seconds != 12 || !m.Phases[0].Running {
+		t.Errorf("merged phases = %+v", m.Phases)
+	}
+	if m.Recovery == nil || m.Recovery.Quarantined != 3 || m.Recovery.PanicsRecovered != 2 || m.Recovery.Timeouts != 1 {
+		t.Errorf("merged recovery = %+v", m.Recovery)
+	}
+	// Shard 3 appeared in both workers (a re-leased shard): the merged view
+	// keeps the entry with the most failures charged, not the sum.
+	if got := m.Recovery.Shards; len(got) != 1 || got[0].Shard != 3 || got[0].Failures != 2 {
+		t.Errorf("merged shard budgets = %+v", got)
+	}
+	if m.Replay == nil || m.Replay.LayersSkipped != 40 || m.Replay.CacheHitRatio != 0.4/0.6 {
+		t.Errorf("merged replay = %+v", m.Replay)
+	}
+
+	// Merging nothing still yields a labelled, zero-valued snapshot.
+	empty := Merge("coordinator")
+	if empty.Source != "coordinator" || empty.Experiments != 0 || empty.Recovery != nil || empty.Replay != nil {
+		t.Errorf("empty merge = %+v", empty)
+	}
+}

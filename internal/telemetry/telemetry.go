@@ -32,6 +32,7 @@ const (
 // New. All methods are safe for concurrent use.
 type Collector struct {
 	start       time.Time
+	source      atomic.Value // string: snapshot attribution label
 	experiments atomic.Int64
 	models      sync.Map // model name -> *Outcomes
 
@@ -72,6 +73,12 @@ type phaseTiming struct {
 func New() *Collector {
 	return &Collector{start: time.Now(), byName: map[string]*phaseTiming{}}
 }
+
+// SetSource labels every snapshot this collector emits with an attribution
+// source — "local" for an in-process campaign, a worker ID for a distributed
+// worker's stream — so merged coordinator progress streams can tell whose
+// counters each line carries.
+func (c *Collector) SetSource(source string) { c.source.Store(source) }
 
 // RecordExperiment counts one finished experiment for a fault model with the
 // given outcome label. The hot path is atomic-only after the first call per
@@ -235,6 +242,13 @@ type PhaseSnapshot struct {
 // Snapshot is a point-in-time view of the collector, serializable as one
 // JSONL progress line or embedded in a run manifest.
 type Snapshot struct {
+	// Source attributes the snapshot: "local" for an in-process campaign,
+	// a worker ID for a distributed worker, a coordinator label for merged
+	// streams. Empty for unattributed (pre-distribution) collectors.
+	Source string `json:"source,omitempty"`
+	// Sources lists the constituent snapshot sources of a merged snapshot
+	// (see Merge), sorted; nil for first-hand snapshots.
+	Sources     []string                 `json:"sources,omitempty"`
 	ElapsedSec  float64                  `json:"elapsed_sec"`
 	Experiments int64                    `json:"experiments"`
 	PerSec      float64                  `json:"experiments_per_sec"`
@@ -256,6 +270,9 @@ func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
 		ElapsedSec:  time.Since(c.start).Seconds(),
 		Experiments: c.experiments.Load(),
+	}
+	if src, ok := c.source.Load().(string); ok {
+		s.Source = src
 	}
 	if s.ElapsedSec > 0 {
 		s.PerSec = float64(s.Experiments) / s.ElapsedSec
