@@ -19,10 +19,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-critical packages: the sharded campaign engine,
-# the injector, and the distributed fabric (coordinator + workers exchanging
-# leases over loopback HTTP). Slow: several minutes under -race.
+# the injector, the goroutine-tiled kernels (nn + tensor), and the distributed
+# fabric (coordinator + workers exchanging leases over loopback HTTP). Slow:
+# several minutes under -race.
 race:
-	$(GO) test -race -timeout 30m ./internal/campaign/... ./internal/inject/... ./internal/distrib/...
+	$(GO) test -race -timeout 30m ./internal/campaign/... ./internal/inject/... ./internal/nn/... ./internal/tensor/... ./internal/distrib/...
 
 # The chaos self-test harness: synthetic panics, hangs, and I/O errors
 # injected into live campaigns; the supervisor must recover deterministically.
@@ -35,13 +36,28 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-# Measure the replay-vs-full injection benchmark and export it as a
-# benchstat-compatible JSON artifact (per-workload ns/op + allocs/op,
-# speedups, and the CNN-zoo geomean). CI uploads BENCH_inject.json.
+# Measure the paired benchmarks and export them as benchstat-compatible JSON
+# artifacts (per-workload ns/op + allocs/op, speedups, and the geomean):
+# replay-vs-full per injection (BENCH_inject.json) and optimized-vs-baseline
+# per campaign (BENCH_campaign.json). CI uploads both.
 bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkInjectionReplay$$' -benchmem . > bench_inject.txt
 	$(GO) run ./cmd/benchjson -o BENCH_inject.json < bench_inject.txt
 	@rm -f bench_inject.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkCampaign$$' -timeout 60m . > bench_campaign.txt
+	$(GO) run ./cmd/benchjson -o BENCH_campaign.json < bench_campaign.txt
+	@rm -f bench_campaign.txt
+
+# Regenerate the benchmark artifacts into *.new.json and gate them against
+# the committed baselines: fail if either geomean speedup regressed by more
+# than 10%. Mirrors CI's bench-trajectory job.
+bench-gate:
+	cp BENCH_inject.json BENCH_inject.base.json
+	cp BENCH_campaign.json BENCH_campaign.base.json
+	$(MAKE) bench-json
+	$(GO) run ./cmd/benchjson/benchgate -old BENCH_inject.base.json -new BENCH_inject.json
+	$(GO) run ./cmd/benchjson/benchgate -old BENCH_campaign.base.json -new BENCH_campaign.json
+	@rm -f BENCH_inject.base.json BENCH_campaign.base.json
 
 fmt:
 	@diff=$$(gofmt -l .); \
@@ -53,10 +69,22 @@ vet:
 	$(GO) vet ./...
 
 # Static analysis + known-vulnerability scan, pinned so CI and local runs
-# agree. Downloads the tools on first use (network required).
+# agree. Downloads the tools on first use (network required); when the tool
+# itself cannot be fetched (offline/air-gapped runs), warn and skip rather
+# than fail — real findings from a tool that did run still fail. Keep the
+# error patterns in sync with the `lint` job in ci.yml.
+OFFLINE_ERRS := dial tcp|no such host|i/o timeout|connection refused|TLS handshake timeout|proxyconnect
 lint:
-	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
-	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+	@out=$$($(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... 2>&1); st=$$?; \
+	echo "$$out"; \
+	if [ $$st -ne 0 ] && echo "$$out" | grep -Eq '$(OFFLINE_ERRS)'; then \
+		echo "lint: WARNING: staticcheck unavailable offline, skipping"; \
+	elif [ $$st -ne 0 ]; then exit $$st; fi
+	@out=$$($(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./... 2>&1); st=$$?; \
+	echo "$$out"; \
+	if [ $$st -ne 0 ] && echo "$$out" | grep -Eq '$(OFFLINE_ERRS)'; then \
+		echo "lint: WARNING: govulncheck unavailable offline, skipping"; \
+	elif [ $$st -ne 0 ]; then exit $$st; fi
 
 # Run a distributed-campaign coordinator on :9090 with durable state; point
 # one or more `make work` invocations (any machine) at it.

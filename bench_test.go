@@ -36,6 +36,7 @@ import (
 	"fidelity/internal/fit"
 	"fidelity/internal/inject"
 	"fidelity/internal/model"
+	"fidelity/internal/nn"
 	"fidelity/internal/numerics"
 	"fidelity/internal/reuse"
 	"fidelity/internal/rtlsim"
@@ -376,6 +377,47 @@ func BenchmarkInjectionReplay(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCampaign measures full-campaign wall clock — golden trace, every
+// fault model, tallies, FIT — under the optimized execution stack (tiled
+// kernels, dirty-region sweeps, site-grouped experiment batching, one shared
+// golden trace per input) against the engine exactly as it stood before that
+// stack landed: reference kernels, whole-layer recomputes, unbatched shard
+// loop, per-shard golden tracing. The replay engine itself is on in both
+// modes (it predates the stack), so the ratio isolates this PR's
+// contribution. `make bench-json` turns it into BENCH_campaign.json with
+// per-workload speedups and their geomean.
+func BenchmarkCampaign(b *testing.B) {
+	cfg := accel.NVDLASmall()
+	modes := []struct {
+		name     string
+		baseline bool
+	}{{"optimized", false}, {"baseline", true}}
+	for _, net := range []string{"inception", "resnet", "mobilenet", "yolo"} {
+		w, err := model.Build(net, numerics.FP16, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range modes {
+			b.Run(net+"/"+mode.name, func(b *testing.B) {
+				opts := campaign.StudyOptions{Samples: 24, Inputs: 1, Tolerance: 0.1, Seed: 1}
+				if mode.baseline {
+					nn.SetReferenceKernels(true)
+					defer nn.SetReferenceKernels(false)
+					opts.DisableRegionSweep = true
+					opts.ExperimentBatch = 1
+					opts.DisableGoldenShare = true
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := campaign.Study(context.Background(), cfg, w, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

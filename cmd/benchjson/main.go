@@ -1,11 +1,19 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// benchstat-compatible JSON artifact (BENCH_inject.json in CI): per-benchmark
-// ns/op and allocs/op, plus full-forward-vs-replay speedups per workload and
-// their geomean across the CNN zoo.
+// benchstat-compatible JSON artifact: per-benchmark ns/op and allocs/op, plus
+// paired optimized-vs-baseline speedups per workload and their geomean. Two
+// benchmark families pair up (both may appear in one stream):
+//
+//	BenchmarkInjectionReplay/<workload>/{replay,full}      -> BENCH_inject.json
+//	BenchmarkCampaign/<workload>/{optimized,baseline}      -> BENCH_campaign.json
 //
 // Usage:
 //
 //	go test -run '^$' -bench '^BenchmarkInjectionReplay$' -benchmem . | benchjson -o BENCH_inject.json
+//	go test -run '^$' -bench '^BenchmarkCampaign$' . | benchjson -o BENCH_campaign.json
+//
+// The companion command cmd/benchjson/benchgate compares two such artifacts
+// and fails when the geomean regresses, enforcing the benchmark trajectory
+// in CI.
 package main
 
 import (
@@ -29,30 +37,41 @@ type Benchmark struct {
 	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Speedup is full-forward time over replay time for one workload.
+// Speedup is baseline time over optimized time for one paired workload. For
+// BenchmarkInjectionReplay the optimized mode is /replay and the baseline is
+// /full; for BenchmarkCampaign they are /optimized and /baseline.
 type Speedup struct {
-	Workload string  `json:"workload"`
-	ReplayNs float64 `json:"replay_ns_per_op"`
-	FullNs   float64 `json:"full_ns_per_op"`
-	Speedup  float64 `json:"speedup"`
+	Workload    string  `json:"workload"`
+	OptimizedNs float64 `json:"optimized_ns_per_op"`
+	BaselineNs  float64 `json:"baseline_ns_per_op"`
+	Speedup     float64 `json:"speedup"`
 }
 
-// Report is the BENCH_inject.json schema.
+// Report is the BENCH_inject.json / BENCH_campaign.json schema.
 type Report struct {
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
-	// Speedups covers BenchmarkInjectionReplay workloads that measured both
-	// a /replay and a /full variant.
+	// Speedups covers workloads that measured both modes of a paired family.
 	Speedups []Speedup `json:"speedups,omitempty"`
-	// GeomeanSpeedup is the geometric mean over the CNN-zoo workloads
+	// GeomeanSpeedup is the geometric mean over the paired workloads
 	// (masked-at-layer is a fast-path microbenchmark and reported
 	// separately, not averaged in).
 	GeomeanSpeedup float64 `json:"geomean_speedup,omitempty"`
 	// MaskedSpeedup is the masked-at-layer fast-path speedup.
 	MaskedSpeedup float64 `json:"masked_at_layer_speedup,omitempty"`
+}
+
+// pairSpecs lists the benchmark families whose sub-benchmarks pair into
+// speedups: speedup = slow mode ns/op over fast mode ns/op.
+var pairSpecs = []struct {
+	prefix     string
+	fast, slow string
+}{
+	{"BenchmarkInjectionReplay/", "replay", "full"},
+	{"BenchmarkCampaign/", "optimized", "baseline"},
 }
 
 var benchLine = regexp.MustCompile(
@@ -78,7 +97,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s", len(rep.Benchmarks), *out)
 	if rep.GeomeanSpeedup > 0 {
-		fmt.Fprintf(os.Stderr, " (geomean replay speedup %.2fx", rep.GeomeanSpeedup)
+		fmt.Fprintf(os.Stderr, " (geomean speedup %.2fx", rep.GeomeanSpeedup)
 		if rep.MaskedSpeedup > 0 {
 			fmt.Fprintf(os.Stderr, ", masked-at-layer %.2fx", rep.MaskedSpeedup)
 		}
@@ -124,35 +143,37 @@ func parse(sc *bufio.Scanner) Report {
 	return rep
 }
 
-// speedups pairs BenchmarkInjectionReplay/<workload>/{replay,full} rows.
+// speedups pairs the fast/slow sub-benchmarks of every family in pairSpecs.
 // Sub-benchmark names carry a -<GOMAXPROCS> suffix that must be stripped.
 func speedups(benchmarks []Benchmark) ([]Speedup, float64, float64) {
-	type pair struct{ replay, full float64 }
+	type pair struct{ fast, slow float64 }
 	pairs := map[string]*pair{}
 	var order []string
 	for _, b := range benchmarks {
-		rest, ok := strings.CutPrefix(b.Name, "BenchmarkInjectionReplay/")
-		if !ok {
-			continue
-		}
-		if i := strings.LastIndex(rest, "-"); i > strings.LastIndex(rest, "/") {
-			rest = rest[:i] // trim the -<GOMAXPROCS> suffix
-		}
-		workload, mode, ok := strings.Cut(rest, "/")
-		if !ok {
-			continue
-		}
-		p := pairs[workload]
-		if p == nil {
-			p = &pair{}
-			pairs[workload] = p
-			order = append(order, workload)
-		}
-		switch mode {
-		case "replay":
-			p.replay = b.NsPerOp
-		case "full":
-			p.full = b.NsPerOp
+		for _, spec := range pairSpecs {
+			rest, ok := strings.CutPrefix(b.Name, spec.prefix)
+			if !ok {
+				continue
+			}
+			if i := strings.LastIndex(rest, "-"); i > strings.LastIndex(rest, "/") {
+				rest = rest[:i] // trim the -<GOMAXPROCS> suffix
+			}
+			workload, mode, ok := strings.Cut(rest, "/")
+			if !ok {
+				continue
+			}
+			p := pairs[workload]
+			if p == nil {
+				p = &pair{}
+				pairs[workload] = p
+				order = append(order, workload)
+			}
+			switch mode {
+			case spec.fast:
+				p.fast = b.NsPerOp
+			case spec.slow:
+				p.slow = b.NsPerOp
+			}
 		}
 	}
 	var out []Speedup
@@ -160,10 +181,10 @@ func speedups(benchmarks []Benchmark) ([]Speedup, float64, float64) {
 	logSum, n := 0.0, 0
 	for _, w := range order {
 		p := pairs[w]
-		if p.replay <= 0 || p.full <= 0 {
+		if p.fast <= 0 || p.slow <= 0 {
 			continue
 		}
-		s := Speedup{Workload: w, ReplayNs: p.replay, FullNs: p.full, Speedup: p.full / p.replay}
+		s := Speedup{Workload: w, OptimizedNs: p.fast, BaselineNs: p.slow, Speedup: p.slow / p.fast}
 		out = append(out, s)
 		if w == "masked-at-layer" {
 			masked = s.Speedup

@@ -166,6 +166,7 @@ func sensitivity(ctx context.Context, args []string) error {
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = off)")
 	failBudget := fs.Int("failure-budget", 0, "max quarantined experiments per shard (0 = default, negative = unlimited)")
 	noReplay := fs.Bool("no-replay", false, "disable the incremental golden-replay engine (bit-identical results, slower)")
+	batch := fs.Int("batch", 0, "experiment batch window for site-grouped execution (0 = default, 1 = unbatched; bit-identical results for every value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -182,7 +183,7 @@ func sensitivity(ctx context.Context, args []string) error {
 	res, err := fw.Analyze(ctx, *net, numerics.FP16, campaign.StudyOptions{
 		Samples: *samples, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
 		ExperimentTimeout: *expTimeout, FailureBudget: *failBudget,
-		DisableReplay: *noReplay,
+		DisableReplay: *noReplay, ExperimentBatch: *batch,
 	})
 	if err != nil {
 		return err

@@ -76,6 +76,8 @@ func main() {
 	ioRetries := flag.Int("io-retries", 0, "retries for transient checkpoint/manifest write failures (0 = default)")
 	ioBackoff := flag.Duration("io-backoff", 0, "initial backoff between I/O retries, doubling per attempt (0 = default)")
 	noReplay := flag.Bool("no-replay", false, "disable the incremental golden-replay engine and run every experiment as a full forward pass (bit-identical results, slower)")
+	noRegion := flag.Bool("no-region-sweep", false, "recompute whole layers during replay instead of only the dirty output region (bit-identical results, slower)")
+	batch := flag.Int("batch", 0, "experiment batch window for site-grouped execution (0 = default, 1 = unbatched; bit-identical results for every value)")
 	flag.Parse()
 	if *samples <= 0 {
 		usageError("-samples must be positive (got %d)", *samples)
@@ -117,6 +119,8 @@ func main() {
 			IORetries:          *ioRetries,
 			IOBackoff:          *ioBackoff,
 			DisableReplay:      *noReplay,
+			DisableRegionSweep: *noRegion,
+			ExperimentBatch:    *batch,
 		},
 	}
 	// Progress lines from an in-process campaign are attributed "local";

@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fidelity/internal/accel"
+	"fidelity/internal/faultmodel"
+	"fidelity/internal/inject"
+	"fidelity/internal/model"
+	"fidelity/internal/nn"
+	"fidelity/internal/numerics"
+	"fidelity/internal/telemetry"
+)
+
+// The differential equivalence suite for the tiled-kernel + dirty-region +
+// site-grouped-batching optimization stack. Every switch in the stack must be
+// a pure performance optimization: StudyResult JSON and checkpoints must be
+// byte-identical across all of
+//
+//   - tiled kernels vs the frozen reference kernels,
+//   - dirty-region sweeps vs whole-layer recomputes,
+//   - any experiment batch window vs the unbatched loop,
+//
+// including under deterministic interruption and cross-mode resume.
+
+// studyJSON runs a study and marshals its result.
+func studyJSON(t *testing.T, w *model.Workload, opts StudyOptions) []byte {
+	t.Helper()
+	res, err := Study(context.Background(), accel.NVDLASmall(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestBatchTilingDifferential compares the fully optimized configuration
+// (tiled kernels, region sweep, default batch window) against the fully
+// de-optimized one (reference kernels, whole-layer recomputes, unbatched) and
+// several intermediate points, requiring byte-identical StudyResult JSON for
+// every zoo topology at FP16 plus mobilenet across the integer precisions.
+func TestBatchTilingDifferential(t *testing.T) {
+	type config struct {
+		name string
+		ref  bool // reference (pre-tiling) kernels
+		opts func(*StudyOptions)
+	}
+	configs := []config{
+		{"optimized", false, func(o *StudyOptions) {}},
+		{"reference-kernels", true, func(o *StudyOptions) {}},
+		{"no-region", false, func(o *StudyOptions) { o.DisableRegionSweep = true }},
+		{"unbatched", false, func(o *StudyOptions) { o.ExperimentBatch = 1 }},
+		{"batch-5", false, func(o *StudyOptions) { o.ExperimentBatch = 5 }},
+		{"no-golden-share", false, func(o *StudyOptions) { o.DisableGoldenShare = true }},
+		{"all-off", true, func(o *StudyOptions) {
+			o.DisableRegionSweep = true
+			o.ExperimentBatch = 1
+			o.DisableGoldenShare = true
+		}},
+	}
+	type cell struct {
+		net  string
+		prec numerics.Precision
+	}
+	var cells []cell
+	for _, name := range model.Names() {
+		cells = append(cells, cell{name, numerics.FP16})
+	}
+	cells = append(cells, cell{"mobilenet", numerics.INT16}, cell{"mobilenet", numerics.INT8})
+	for _, cell := range cells {
+		t.Run(cell.net+"/"+cell.prec.String(), func(t *testing.T) {
+			w, err := model.Build(cell.net, cell.prec, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []byte
+			for _, c := range configs {
+				opts := StudyOptions{Samples: 12, Inputs: 1, Tolerance: 0.1, Seed: 7, Workers: 4}
+				c.opts(&opts)
+				nn.SetReferenceKernels(c.ref)
+				got := studyJSON(t, w, opts)
+				nn.SetReferenceKernels(false)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("StudyResult JSON differs for %s:\noptimized: %s\n%s: %s",
+						c.name, want, c.name, got)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchCheckpointIdentity interrupts the same campaign deterministically
+// with batching on and off, requires byte-identical checkpoints, and then
+// cross-resumes each checkpoint under the opposite batching mode (and with
+// the region sweep flipped) — all four resumes must reproduce the
+// uninterrupted result exactly. This is the proof that batch windows commit
+// at experiment boundaries only: an interrupt can never surface a
+// half-committed batch.
+func TestBatchCheckpointIdentity(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 160, Inputs: 2, Tolerance: 0.1, Seed: 13, Workers: 1}
+
+	baseline, err := Study(context.Background(), cfg, w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Workers=1 plus a synchronous observer makes the interruption point
+	// exact: both modes stop after the same committed experiments. The
+	// cancellation lands mid-batch for the batched run (batch window 16, stop
+	// at 100 observes), exercising the partial-batch discard path.
+	interrupt := func(batch int) *Checkpoint {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		opts := base
+		opts.ExperimentBatch = batch
+		count := 0
+		opts.observe = func(int, Cursor, faultmodel.ID, inject.Result) {
+			if count++; count == 100 {
+				cancel()
+			}
+		}
+		_, err := Study(ctx, cfg, w, opts)
+		var intr *Interrupted
+		if !errors.As(err, &intr) {
+			t.Fatalf("batch=%d: interrupted study returned %v, want *Interrupted", batch, err)
+		}
+		return intr.Checkpoint
+	}
+	cpBatched := interrupt(16)
+	cpSeq := interrupt(1)
+	bBatched, err := json.Marshal(cpBatched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bSeq, err := json.Marshal(cpSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bBatched, bSeq) {
+		t.Errorf("checkpoints differ between batched and sequential interrupt:\nbatched: %s\nseq:     %s",
+			bBatched, bSeq)
+	}
+
+	// ExperimentBatch and DisableRegionSweep are deliberately not part of the
+	// checkpoint identity: resuming under any combination must finish to the
+	// same result.
+	resume := func(label string, cp *Checkpoint, batch int, noRegion bool) {
+		t.Helper()
+		opts := base
+		opts.ExperimentBatch = batch
+		opts.DisableRegionSweep = noRegion
+		opts.Resume = cp
+		res, err := Study(context.Background(), cfg, w, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		requireEqualResults(t, label, baseline, res)
+	}
+	resume("batched checkpoint resumed sequentially", cpBatched, 1, false)
+	resume("sequential checkpoint resumed batched", cpSeq, 16, false)
+	resume("batched checkpoint resumed batched without region sweep", cpBatched, 16, true)
+	resume("sequential checkpoint resumed sequentially without region sweep", cpSeq, 1, true)
+}
+
+// TestBatchTelemetryPresence checks the batch telemetry block's
+// nil-when-unbatched contract, and that batched runs report site groups
+// bounded by the batch count times the window size.
+func TestBatchTelemetryPresence(t *testing.T) {
+	w := engineWorkload(t)
+	cfg := accel.NVDLASmall()
+	base := StudyOptions{Samples: 24, Inputs: 1, Tolerance: 0.1, Seed: 3}
+
+	tel := telemetry.New()
+	opts := base
+	opts.Telemetry = tel
+	opts.ExperimentBatch = 8
+	if _, err := Study(context.Background(), cfg, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	bs := tel.Snapshot().Batch
+	if bs == nil {
+		t.Fatal("batched study produced no telemetry Batch block")
+	}
+	if bs.Batches <= 0 || bs.Experiments <= 0 {
+		t.Errorf("batch counters not populated: %+v", bs)
+	}
+	if bs.SiteGroups <= 0 || bs.SiteGroups > bs.Experiments {
+		t.Errorf("SiteGroups = %d, want in (0, %d]", bs.SiteGroups, bs.Experiments)
+	}
+	if ks := tel.Snapshot().Kernels; ks == nil || ks.Tiles <= 0 {
+		t.Errorf("tiled-kernel telemetry missing or zero: %+v", ks)
+	}
+
+	tel = telemetry.New()
+	opts = base
+	opts.Telemetry = tel
+	opts.ExperimentBatch = 1
+	if _, err := Study(context.Background(), cfg, w, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Snapshot().Batch; got != nil {
+		t.Errorf("unbatched study produced a telemetry Batch block: %+v", got)
+	}
+}

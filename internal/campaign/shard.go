@@ -74,6 +74,9 @@ func RunShard(ctx context.Context, cfg *accel.Config, w *model.Workload, opts St
 	if err != nil {
 		return ShardCheckpoint{}, err
 	}
+	if !opts.DisableGoldenShare {
+		opts.golden = &goldenCache{}
+	}
 	sh := newShardState(run.Index, shardSeed(opts.Seed, run.Index), w, models, opts)
 	if run.PublishEvery > 0 {
 		sh.publishEvery = run.PublishEvery

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -23,6 +24,16 @@ import (
 // workers — own the deterministic random streams, so results depend only on
 // (Seed, Shards), never on the worker count.
 const DefaultShards = 16
+
+// DefaultExperimentBatch is the shard loop's experiment batch window when
+// StudyOptions.ExperimentBatch is zero: consecutive flat-mode experiments are
+// pre-drawn, grouped by their target site execution, and run group by group
+// so same-site experiments amortize one golden prefix and one arena working
+// set. Batching changes execution order only — every experiment draws its
+// whole stream from a cursor-derived seed and tallies commit in cursor order
+// at batch boundaries, so results and checkpoints are byte-identical to an
+// unbatched run.
+const DefaultExperimentBatch = 64
 
 // StudyOptions parameterizes a Sec. V resilience study for one workload.
 type StudyOptions struct {
@@ -90,6 +101,24 @@ type StudyOptions struct {
 	// flag is NOT part of a study's checkpoint identity: a checkpoint taken
 	// with replay on may be resumed with replay off and vice versa.
 	DisableReplay bool
+	// DisableRegionSweep makes replayed recomputes cover whole layers instead
+	// of only the dirty output region. Bit-identical either way; like
+	// DisableReplay it is an escape hatch and differential-testing switch, and
+	// NOT part of the checkpoint identity.
+	DisableRegionSweep bool
+	// ExperimentBatch sets the shard loop's experiment batch window: 0 selects
+	// DefaultExperimentBatch, 1 (or negative) disables batching. Batching
+	// groups consecutive flat-mode experiments by their predicted target site
+	// and is a pure execution-order optimization — results and checkpoints are
+	// byte-identical for every value, so it is NOT part of the checkpoint
+	// identity.
+	ExperimentBatch int
+	// DisableGoldenShare makes every shard record its own golden trace per
+	// input instead of sharing one recording across the run — the historical
+	// per-shard behavior. The recordings are identical, so this is purely a
+	// wall-clock switch (differential testing, benchmarking the old cost) and
+	// NOT part of the checkpoint identity.
+	DisableGoldenShare bool
 
 	// chaos is the test-only failure injector of the chaos self-test
 	// harness; always nil in production.
@@ -97,6 +126,42 @@ type StudyOptions struct {
 	// observe is a test-only per-experiment observer, called for every
 	// completed (non-quarantined) experiment.
 	observe func(shard int, cur Cursor, id faultmodel.ID, r inject.Result)
+	// golden shares one recorded golden trace per input across every shard
+	// of a run (the trace is immutable during replay, so sharing is safe);
+	// set by Study and RunShard before the shard states copy the options.
+	// nil (e.g. options built by tests calling shard internals directly)
+	// falls back to per-shard golden tracing.
+	golden *goldenCache
+}
+
+// goldenCache memoizes the per-input golden state (sampled input tensor,
+// clean inference, replay trace, sampling weights) so a run's shards record
+// it once instead of once per shard. Keyed by input index: the workload and
+// replay mode are fixed for the run the cache belongs to.
+type goldenCache struct {
+	mu      sync.Mutex
+	entries map[int]*inject.Golden
+}
+
+func (c *goldenCache) get(w *model.Workload, input int, withReplay bool) (*inject.Golden, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.entries[input]; ok {
+		return g, nil
+	}
+	x, err := dataset.Sample(w.Dataset, input)
+	if err != nil {
+		return nil, err
+	}
+	g, err := inject.TraceGolden(w, x, withReplay)
+	if err != nil {
+		return nil, err
+	}
+	if c.entries == nil {
+		c.entries = map[int]*inject.Golden{}
+	}
+	c.entries[input] = g
+	return g, nil
 }
 
 // shards returns the resolved shard count.
@@ -105,6 +170,18 @@ func (o StudyOptions) shards() int {
 		return o.Shards
 	}
 	return DefaultShards
+}
+
+// experimentBatch returns the resolved batch window (1 = unbatched).
+func (o StudyOptions) experimentBatch() int {
+	switch {
+	case o.ExperimentBatch > 0:
+		return o.ExperimentBatch
+	case o.ExperimentBatch < 0:
+		return 1
+	default:
+		return DefaultExperimentBatch
+	}
 }
 
 // shardSeed derives the independent stream seed of one logical shard.
@@ -197,9 +274,10 @@ type shardState struct {
 	// Owned by the worker executing the shard. sampler and inj are replaced
 	// wholesale after a watchdog kill: the abandoned experiment goroutine
 	// may still be touching the old pair, so they are never reused.
-	sampler *faultmodel.Sampler
-	inj     *inject.Injector
-	input   *tensor.Tensor
+	sampler  *faultmodel.Sampler
+	inj      *inject.Injector
+	input    *tensor.Tensor
+	inputIdx int
 
 	masked       map[faultmodel.ID]*Proportion
 	perLayer     []map[faultmodel.ID]*Proportion
@@ -350,18 +428,43 @@ func (sh *shardState) record(layer int, id faultmodel.ID, r inject.Result) {
 	if tel := sh.opts.Telemetry; tel != nil {
 		tel.RecordExperiment(id.String(), r.Outcome.String())
 		if r.Replay != nil {
-			tel.RecordReplay(r.Replay.Skipped, r.Replay.Recomputed, r.Replay.ArenaReuses, r.Replay.MACsAvoided)
+			tel.RecordReplay(r.Replay.Skipped, r.Replay.Recomputed, r.Replay.RegionSwept,
+				r.Replay.ArenaReuses, r.Replay.MACsAvoided)
 		}
 	}
 }
 
-// setInput caches the input and prepares the live injector for it.
-func (sh *shardState) setInput(x *tensor.Tensor) error {
-	sh.input = x
+// setInput samples input idx (or fetches it from the run's shared golden
+// cache) and prepares the live injector for it.
+func (sh *shardState) setInput(idx int) error {
+	sh.inputIdx = idx
+	if sh.opts.golden == nil {
+		x, err := dataset.Sample(sh.w.Dataset, idx)
+		if err != nil {
+			return err
+		}
+		sh.input = x
+	}
 	if sh.inj == nil {
 		return sh.ensureInjector()
 	}
-	return sh.inj.Prepare(x)
+	return sh.prepare(sh.inj)
+}
+
+// prepare initializes inj for the shard's current input, going through the
+// run's shared golden cache when the campaign provides one so all shards
+// reuse one sampled input and one recorded trace per input instead of
+// re-running the golden inference sixteen times.
+func (sh *shardState) prepare(inj *inject.Injector) error {
+	if sh.opts.golden == nil {
+		return inj.Prepare(sh.input)
+	}
+	g, err := sh.opts.golden.get(sh.w, sh.inputIdx, !sh.opts.DisableReplay)
+	if err != nil {
+		return err
+	}
+	sh.input = g.Input()
+	return inj.PrepareGolden(g)
 }
 
 // ensureInjector (re)builds the shard's sampler and injector — lazily after
@@ -377,7 +480,8 @@ func (sh *shardState) ensureInjector() error {
 	if sh.inj == nil {
 		inj := inject.New(sh.w, sh.sampler)
 		inj.DisableReplay = sh.opts.DisableReplay
-		if err := inj.Prepare(sh.input); err != nil {
+		inj.DisableRegionSweep = sh.opts.DisableRegionSweep
+		if err := sh.prepare(inj); err != nil {
 			return err
 		}
 		sh.inj = inj
@@ -500,6 +604,114 @@ func (sh *shardState) step(ctx context.Context, cur Cursor, id faultmodel.ID, ex
 	return nil
 }
 
+// batchEntry is one experiment of a site-grouped batch window.
+type batchEntry struct {
+	cur   Cursor
+	exec  int  // predicted target execution: the grouping key
+	skip  bool // quarantined on a previous run: no attempt, no commit
+	r     inject.Result
+	fault *frameworkFault
+}
+
+// stepBatch supervises a window of n consecutive flat-mode experiments
+// starting at *cur. The window's experiments are pre-drawn (each target is
+// predicted from its cursor-derived stream without touching the live
+// sampler), stable-sorted by target execution so same-site experiments run
+// back to back against one golden prefix and a warm arena working set, and
+// executed in that grouped order. Shard state mutates only in the commit
+// phase, in cursor order — so tallies, quarantine lists, failure-budget
+// accounting and published checkpoints evolve exactly as n sequential steps
+// would, and a cancellation mid-execution discards the partial batch and
+// publishes the batch-start boundary. On success *cur advances past the
+// window.
+func (sh *shardState) stepBatch(ctx context.Context, cur *Cursor, id faultmodel.ID, n int) error {
+	start := *cur
+	if err := ctx.Err(); err != nil {
+		sh.cursor = start
+		sh.publish(start)
+		return err
+	}
+	if err := sh.ensureInjector(); err != nil {
+		return err
+	}
+
+	// Pre-draw: predict each cursor's target execution. Prediction replays
+	// the first draw of the experiment's own cursor-derived stream, so
+	// grouping cannot change any value the experiment will draw.
+	entries := make([]batchEntry, n)
+	order := make([]*batchEntry, 0, n)
+	for i := range entries {
+		c := start
+		c.Sample += i
+		entries[i].cur = c
+		if sh.quarantined[c] {
+			entries[i].skip = true
+			continue
+		}
+		entries[i].exec = sh.inj.PredictTarget(experimentSeed(sh.seed, c))
+		order = append(order, &entries[i])
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].exec < order[j].exec })
+
+	// Execution phase, site-grouped order: results are buffered, nothing is
+	// committed yet.
+	groups := 0
+	for i, e := range order {
+		if i == 0 || e.exec != order[i-1].exec {
+			groups++
+		}
+		if err := ctx.Err(); err != nil {
+			sh.cursor = start
+			sh.publish(start)
+			return err
+		}
+		r, fault, err := sh.attempt(ctx, e.cur, id, -1)
+		if err != nil {
+			if isCancellation(err) {
+				sh.cursor = start
+				sh.publish(start)
+			}
+			return err
+		}
+		e.r, e.fault = r, fault
+	}
+	if tel := sh.opts.Telemetry; tel != nil && len(order) > 0 {
+		tel.RecordBatch(groups, len(order))
+	}
+
+	// Commit phase, cursor order: the identical state evolution n sequential
+	// step calls would produce, including the publish cadence and the
+	// failure-budget stop point (results past an exhausting cursor are
+	// discarded, exactly as a sequential shard would never have run them).
+	for i := range entries {
+		e := &entries[i]
+		if err := sh.boundary(ctx, e.cur); err != nil {
+			return err
+		}
+		if e.skip {
+			continue
+		}
+		if e.fault == nil {
+			if sh.opts.observe != nil {
+				sh.opts.observe(sh.index, e.cur, id, e.r)
+			}
+			sh.record(-1, id, e.r)
+			continue
+		}
+		sh.quarantineExperiment(e.cur, id, e.fault)
+		if b := sh.opts.failureBudget(); b >= 0 && sh.failures > b {
+			sh.cursor = e.cur
+			sh.publish(e.cur)
+			if tel := sh.opts.Telemetry; tel != nil {
+				tel.SetShardBudget(sh.index, sh.failures, b, true)
+			}
+			return ErrShardExhausted
+		}
+	}
+	cur.Sample += n
+	return nil
+}
+
 // run executes the shard's slice of the experiment space from its cursor.
 // On context cancellation it publishes a consistent snapshot and returns the
 // context's error; ErrShardExhausted degrades the shard; any other error is
@@ -511,11 +723,7 @@ func (sh *shardState) run(ctx context.Context) error {
 	cur := sh.cursor
 
 	for ; cur.Input < opts.Inputs; cur.Input, cur.Model = cur.Input+1, 0 {
-		x, err := dataset.Sample(sh.w.Dataset, cur.Input)
-		if err != nil {
-			return err
-		}
-		if err := sh.setInput(x); err != nil {
+		if err := sh.setInput(cur.Input); err != nil {
 			return err
 		}
 		// The execution count is a function of the input alone, so it stays
@@ -553,8 +761,24 @@ func (sh *shardState) run(ctx context.Context) error {
 				}
 				continue
 			}
-			for ; cur.Sample < mine; cur.Sample++ {
-				if err := sh.step(ctx, cur, id, -1); err != nil {
+			// Flat mode: batch the sample loop. Global-control experiments
+			// never draw a target (they classify without a forward pass), so
+			// site grouping has nothing to amortize — they stay sequential.
+			batch := opts.experimentBatch()
+			if batch <= 1 || id == faultmodel.GlobalControl {
+				for ; cur.Sample < mine; cur.Sample++ {
+					if err := sh.step(ctx, cur, id, -1); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			for cur.Sample < mine {
+				n := batch
+				if rem := mine - cur.Sample; n > rem {
+					n = rem
+				}
+				if err := sh.stepBatch(ctx, &cur, id, n); err != nil {
 					return err
 				}
 			}
@@ -620,7 +844,11 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 	_, execs := w.Net.Trace(x0)
 	phaseEnd(tel, "trace")
 
-	// Build the logical shards, restoring from a matching checkpoint.
+	// Build the logical shards, restoring from a matching checkpoint. All
+	// shards of this run share one golden trace per input.
+	if !opts.DisableGoldenShare {
+		opts.golden = &goldenCache{}
+	}
 	shards := opts.shards()
 	states := make([]*shardState, shards)
 	resume := opts.Resume
@@ -667,6 +895,7 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 		workers = shards
 	}
 	phaseStart(tel, "inject")
+	tilesBase := nn.TileCount()
 	jobs := make(chan *shardState)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -694,6 +923,11 @@ feed:
 	close(jobs)
 	wg.Wait()
 	phaseEnd(tel, "inject")
+	if tel != nil {
+		// Tile counts are process-wide; the delta attributes this study's
+		// inject phase (approximate when studies run concurrently).
+		tel.AddKernelTiles(nn.TileCount() - tilesBase)
+	}
 	stopSaver()
 
 	interrupted, partial := false, false

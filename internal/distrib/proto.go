@@ -54,6 +54,9 @@ type CampaignSpec struct {
 	PerLayer  bool    `json:"per_layer,omitempty"`
 	// Execution knobs that do not affect results.
 	DisableReplay bool `json:"disable_replay,omitempty"`
+	// ExperimentBatch is the shard loop's site-grouped batch window
+	// (0 = engine default, 1 = unbatched); byte-identical either way.
+	ExperimentBatch int `json:"experiment_batch,omitempty"`
 	// Supervision knobs (these DO affect a degraded campaign's quarantine
 	// list, so they are part of the spec, not per-worker choices).
 	ExperimentTimeout time.Duration `json:"experiment_timeout,omitempty"`
@@ -104,6 +107,7 @@ func (s CampaignSpec) Options() campaign.StudyOptions {
 		Shards:            s.Shards,
 		PerLayer:          s.PerLayer,
 		DisableReplay:     s.DisableReplay,
+		ExperimentBatch:   s.ExperimentBatch,
 		ExperimentTimeout: s.ExperimentTimeout,
 		FailureBudget:     s.FailureBudget,
 	}

@@ -81,11 +81,7 @@ func NewSampler(models []Model, seed int64) (*Sampler, error) {
 	if !ok || cm.RF <= 0 {
 		return nil, fmt.Errorf("faultmodel: model set lacks a CBUF→MAC input model with positive RF")
 	}
-	s64, ok := rand.NewSource(seed).(rand.Source64)
-	if !ok {
-		return nil, fmt.Errorf("faultmodel: rand source does not implement Source64")
-	}
-	src := &countingSource{src: s64}
+	src := &countingSource{src: NewStreamSource(seed)}
 	return &Sampler{models: byID, rf: cm.RF, seed: seed, src: src, rng: rand.New(src)}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"fidelity/internal/faultmodel"
 	"fidelity/internal/model"
@@ -65,6 +66,9 @@ type ReplayCost struct {
 	// Converged counts recomputed executions whose output matched golden
 	// again, re-enabling skips downstream.
 	Converged int
+	// RegionSwept counts recomputed executions served by the dirty-region
+	// sweep: only the output box reached by the fault was recomputed.
+	RegionSwept int
 	// MACsAvoided estimates the MAC work of skipped site executions.
 	MACsAvoided float64
 	// ArenaReuses counts output buffers recycled instead of allocated.
@@ -99,6 +103,11 @@ type Injector struct {
 	// differential testing and as an operational escape hatch.
 	DisableReplay bool
 
+	// DisableRegionSweep makes replayed recomputes cover whole layers instead
+	// of only the dirty output region. Bit-identical either way; the switch
+	// exists for differential testing and as an operational escape hatch.
+	DisableRegionSweep bool
+
 	// cached golden state per input
 	input   *tensor.Tensor
 	golden  model.AppOutput
@@ -117,37 +126,87 @@ func New(w *model.Workload, s *faultmodel.Sampler) *Injector {
 	return &Injector{W: w, Sampler: s}
 }
 
+// Golden is the recorded golden state for one input: the decoded clean
+// inference output, every site execution (with golden activations when
+// traced for replay), the work-proportional sampling weights, and the replay
+// trace. It is immutable once TraceGolden returns, so a campaign records it
+// once per input and shares it across every shard's injector — replay only
+// reads the trace, and each injector keeps its own mutable replay context.
+type Golden struct {
+	input   *tensor.Tensor
+	golden  model.AppOutput
+	execs   []nn.SiteExecution
+	weights []float64
+	total   float64
+	trace   *nn.GoldenTrace // nil when traced without replay support
+}
+
+// Input returns the input tensor the golden state was recorded for. It is
+// read-only for the lifetime of the Golden: injection never mutates the
+// network input (faults land on operands and outputs of site executions).
+func (g *Golden) Input() *tensor.Tensor { return g.input }
+
+// TraceGolden runs the golden inference for x and records the shared golden
+// state. withReplay selects the activation-recording trace the replay engine
+// consumes; pass false only when every sharing injector sets DisableReplay.
+func TraceGolden(w *model.Workload, x *tensor.Tensor, withReplay bool) (*Golden, error) {
+	g := &Golden{input: x}
+	var out *tensor.Tensor
+	if withReplay {
+		out, g.execs, g.trace = w.Net.TraceWithActivations(x)
+	} else {
+		out, g.execs = w.Net.Trace(x)
+	}
+	if len(g.execs) == 0 {
+		return nil, fmt.Errorf("inject: workload %s has no injection sites", w.Net.Name())
+	}
+	g.golden = w.Decode(out)
+	g.weights = make([]float64, len(g.execs))
+	for i, e := range g.execs {
+		g.weights[i] = execWork(e)
+		g.total += g.weights[i]
+		if g.trace != nil {
+			g.trace.SetWork(e.Site, e.Visit, g.weights[i])
+		}
+	}
+	return g, nil
+}
+
 // Prepare runs the golden inference for input x and caches the trace —
 // including, unless DisableReplay is set, the golden output tensor of every
 // layer execution, which subsequent Runs replay incrementally instead of
 // recomputing the full network. Must be called before Run; call again to
-// switch inputs.
+// switch inputs. Campaigns with several injectors over the same input should
+// TraceGolden once and PrepareGolden each injector instead.
 func (in *Injector) Prepare(x *tensor.Tensor) error {
-	var out *tensor.Tensor
-	var execs []nn.SiteExecution
+	g, err := TraceGolden(in.W, x, !in.DisableReplay)
+	if err != nil {
+		return err
+	}
+	return in.PrepareGolden(g)
+}
+
+// PrepareGolden initializes the injector from a shared Golden, skipping the
+// golden forward pass. g must have been traced with withReplay matching
+// !in.DisableReplay, for the injector's own workload.
+func (in *Injector) PrepareGolden(g *Golden) error {
+	if (g.trace == nil) != in.DisableReplay {
+		return fmt.Errorf("inject: golden trace recorded with withReplay=%v but injector has DisableReplay=%v",
+			g.trace != nil, in.DisableReplay)
+	}
+	in.input = g.input
+	in.golden = g.golden
+	in.execs = g.execs
+	in.weights = g.weights
+	in.total = g.total
+	in.trace = g.trace
 	if in.DisableReplay {
-		out, execs = in.W.Net.Trace(x)
-		in.trace, in.arena, in.rctx = nil, nil, nil
-	} else {
-		out, execs, in.trace = in.W.Net.TraceWithActivations(x)
-		in.arena = nn.NewArena()
-		in.rctx = nn.NewReplayContext(in.trace, in.arena)
+		in.arena, in.rctx = nil, nil
+		return nil
 	}
-	if len(execs) == 0 {
-		return fmt.Errorf("inject: workload %s has no injection sites", in.W.Net.Name())
-	}
-	in.input = x
-	in.golden = in.W.Decode(out)
-	in.execs = execs
-	in.weights = make([]float64, len(execs))
-	in.total = 0
-	for i, e := range in.execs {
-		in.weights[i] = execWork(e)
-		in.total += in.weights[i]
-		if in.trace != nil {
-			in.trace.SetWork(e.Site, e.Visit, in.weights[i])
-		}
-	}
+	in.arena = nn.NewArena()
+	in.rctx = nn.NewReplayContext(in.trace, in.arena)
+	in.rctx.SetRegionSweep(!in.DisableRegionSweep)
 	return nil
 }
 
@@ -185,6 +244,25 @@ func (in *Injector) pickExec() nn.SiteExecution {
 		}
 	}
 	return in.execs[len(in.execs)-1]
+}
+
+// PredictTarget returns the execution index a Run whose experiment stream is
+// seeded at seed will target, without touching the injector's own sampler.
+// The target draw is the first Float64 of the stream (pickExec), so a scratch
+// generator over the same seed reproduces it exactly. Campaigns use this to
+// group a batch of cursor-derived experiments by target site before running
+// them: grouping is sound precisely because each experiment re-derives its
+// whole stream from its cursor seed, so execution order cannot change any
+// drawn value.
+func (in *Injector) PredictTarget(seed int64) int {
+	r := rand.New(faultmodel.NewStreamSource(seed)).Float64() * in.total
+	for i, w := range in.weights {
+		r -= w
+		if r <= 0 {
+			return i
+		}
+	}
+	return len(in.execs) - 1
 }
 
 // Golden returns the cached fault-free application output.
@@ -272,6 +350,7 @@ func (in *Injector) run(ctx context.Context, id faultmodel.ID, tol float64, exec
 			Skipped:     st.Skipped,
 			Recomputed:  st.Recomputed,
 			Converged:   st.Converged,
+			RegionSwept: st.RegionSwept,
 			MACsAvoided: st.MACsAvoided,
 			ArenaReuses: in.arena.Reuses() - arenaBase,
 		}

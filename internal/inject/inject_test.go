@@ -212,3 +212,42 @@ func TestRunAtPinsSite(t *testing.T) {
 		t.Errorf("pinned last site = %s", r.Site)
 	}
 }
+
+// TestPredictTargetMatchesPick verifies PredictTarget's core contract: for
+// any experiment seed, the scratch-generator prediction lands on exactly the
+// execution that pickExec draws after Reseed(seed). Site-grouped batching in
+// the campaign engine is sound only if this holds for every seed, so sweep a
+// few hundred across topologies with very different work distributions.
+func TestPredictTargetMatchesPick(t *testing.T) {
+	for _, net := range []string{"inception", "rnn", "mobilenet"} {
+		inj := newInjector(t, net, numerics.FP16, 1)
+		for seed := int64(0); seed < 300; seed++ {
+			want := inj.PredictTarget(seed)
+			inj.Sampler.Reseed(seed)
+			got := inj.pickExec()
+			w := inj.execs[want]
+			if got.Site != w.Site || got.Visit != w.Visit {
+				t.Fatalf("%s seed %d: PredictTarget -> %s#%d, pickExec -> %s#%d",
+					net, seed, w.Site.Name(), w.Visit, got.Site.Name(), got.Visit)
+			}
+		}
+	}
+}
+
+// TestPredictTargetMatchesRun closes the loop end to end: a full Run seeded
+// at seed must report the site PredictTarget named, proving that no draw
+// before target selection was missed.
+func TestPredictTargetMatchesRun(t *testing.T) {
+	inj := newInjector(t, "resnet", numerics.FP16, 1)
+	for seed := int64(0); seed < 30; seed++ {
+		want := inj.Execution(inj.PredictTarget(seed)).Site.Name()
+		inj.Sampler.Reseed(seed)
+		r, err := inj.Run(context.Background(), faultmodel.OutputPSum, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Site != want {
+			t.Fatalf("seed %d: Run hit %s, PredictTarget said %s", seed, r.Site, want)
+		}
+	}
+}

@@ -116,9 +116,15 @@ func (l *BatchNorm) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	return ctx.exec(l, func() *tensor.Tensor {
 		out := ctx.newTensor(x.Shape()...)
 		od, xd := out.Data(), x.Data()
-		for i := range xd {
-			ch := i % c
-			od[i] = l.codec.Round(xd[i]*l.Scale.At(ch) + l.Shift.At(ch))
+		// Row-sliced with hoisted scale/shift buffers: no per-element modulo
+		// or bounds checks; same formula per element as the naive loop.
+		sc := l.Scale.Data()[:c]
+		sh := l.Shift.Data()[:c]
+		for base := 0; base+c <= len(xd); base += c {
+			xrow, orow := xd[base:base+c], od[base:base+c]
+			for i, v := range xrow {
+				orow[i] = l.codec.Round(v*sc[i] + sh[i])
+			}
 		}
 		return out
 	}, nil, x)

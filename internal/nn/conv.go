@@ -109,76 +109,35 @@ func (l *Conv2D) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 
 		rin := l.codec.RoundSlice(x.Data())
 		rw := l.roundedW()
-		fp16 := l.codec.Precision() == numerics.FP16
-		od := out.Data()
-		n, oh, ow, outC := os[0], os[1], os[2], os[3]
-		h, wd, inC := x.Dim(1), x.Dim(2), l.InC
-		accs := make([]float32, outC)
-		var bias []float32
-		if l.B != nil {
-			bias = l.B.Data()
-		}
-
-		for b := 0; b < n; b++ {
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					for c := range accs {
-						accs[c] = 0
-					}
-					for ky := 0; ky < l.KH; ky++ {
-						iy := oy*l.Stride + ky - l.Pad
-						if iy < 0 || iy >= h {
-							continue
-						}
-						for kx := 0; kx < l.KW; kx++ {
-							ix := ox*l.Stride + kx - l.Pad
-							if ix < 0 || ix >= wd {
-								continue
-							}
-							inBase := ((b*h+iy)*wd + ix) * inC
-							if l.Depthwise {
-								wBase := (ky*l.KW + kx) * inC
-								for c := 0; c < outC; c++ {
-									p := rin[inBase+c] * rw[wBase+c]
-									if fp16 {
-										p = numerics.RoundHalf(p)
-									}
-									accs[c] += p
-								}
-								continue
-							}
-							for ic := 0; ic < inC; ic++ {
-								av := rin[inBase+ic]
-								wBase := ((ky*l.KW+kx)*inC + ic) * outC
-								wrow := rw[wBase : wBase+outC]
-								if fp16 {
-									for c, wv := range wrow {
-										accs[c] += numerics.RoundHalf(av * wv)
-									}
-								} else {
-									for c, wv := range wrow {
-										accs[c] += av * wv
-									}
-								}
-							}
-						}
-					}
-					outBase := ((b*oh+oy)*ow + ox) * outC
-					for c := 0; c < outC; c++ {
-						acc := accs[c]
-						if bias != nil {
-							acc += bias[c]
-						}
-						od[outBase+c] = l.codec.Saturate(acc)
-					}
-				}
-			}
+		if UseReferenceKernels() {
+			convForwardRef(l, x, out, rin, rw)
+		} else {
+			convForward(l.kernelArgs(x, out, rin, 0))
 		}
 		ctx.fire(l, op)
 		return out
 	}, func(out *tensor.Tensor) *Operands {
 		return &Operands{In: x, W: l.W, B: l.B, Out: out}
 	}, x)
+}
+
+// kernelArgs assembles the tiled-kernel argument block for one forward pass
+// over input x into out. rin is the pre-rounded input buffer (a row window
+// when rinOff is non-zero; see convArgs.rinOff).
+func (l *Conv2D) kernelArgs(x, out *tensor.Tensor, rin []float32, rinOff int) *convArgs {
+	os := out.Shape()
+	var bias []float32
+	if l.B != nil {
+		bias = l.B.Data()
+	}
+	return &convArgs{
+		rin: rin, rw: l.roundedW(), bias: bias, out: out.Data(), rinOff: rinOff,
+		n: x.Dim(0), h: x.Dim(1), w: x.Dim(2), inC: l.InC,
+		oh: os[1], ow: os[2], outC: os[3],
+		kh: l.KH, kw: l.KW, stride: l.Stride, pd: l.Pad,
+		depthwise: l.Depthwise, fp16: l.codec.Precision() == numerics.FP16,
+		codec: l.codec,
+	}
 }
 
 // ComputeNeuron implements Site. The accumulation order is (kh, kw, ic)
@@ -189,6 +148,22 @@ func (l *Conv2D) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 	in := op.In
 	w := op.W
 	h, wd := in.Dim(1), in.Dim(2)
+	// Flat row-major indexing throughout: this runs once per affected neuron
+	// per datapath fault, and the variadic At/Offset accessors allocate their
+	// index slice per call — a quarter of campaign wall clock before this.
+	ind, wdat := in.Data(), w.Data()
+	wc, woc := w.Dim(2), w.Dim(3)
+	// Flat override targets; -1 (matching no offset) when the override does
+	// not touch that operand, so the hot loop tests one integer per value.
+	inFlat, wFlat := -1, -1
+	if ov != nil {
+		switch ov.Kind {
+		case OperandInput:
+			inFlat = ov.Flat
+		case OperandWeight:
+			wFlat = ov.Flat
+		}
+	}
 	// Reuse the pre-rounded weight cache when recomputing against the layer's
 	// own weights: MulPre(Round(a), Round(b)) == Mul(a, b) for every codec,
 	// so the result is bit-identical.
@@ -207,35 +182,38 @@ func (l *Conv2D) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 			if ix < 0 || ix >= wd {
 				continue
 			}
+			base := ((b*h+iy)*wd + ix) * l.InC
 			if l.Depthwise {
-				av := in.At(b, iy, ix, oc)
-				if ov != nil && ov.Kind == OperandInput && in.Offset(b, iy, ix, oc) == ov.Flat {
+				ioff := base + oc
+				av := ind[ioff]
+				if ioff == inFlat {
 					av = ov.Value
 				}
-				woff := w.Offset(ky, kx, oc, 0)
+				woff := ((ky*l.KW+kx)*wc + oc) * woc
 				switch {
-				case ov != nil && ov.Kind == OperandWeight && woff == ov.Flat:
+				case woff == wFlat:
 					acc += l.codec.Mul(av, ov.Value)
 				case rw != nil:
 					acc += l.codec.MulPre(l.codec.Round(av), rw[woff])
 				default:
-					acc += l.codec.Mul(av, w.At(ky, kx, oc, 0))
+					acc += l.codec.Mul(av, wdat[woff])
 				}
 				continue
 			}
+			wbase := (ky*l.KW + kx) * wc * woc
 			for ic := 0; ic < l.InC; ic++ {
-				av := in.At(b, iy, ix, ic)
-				if ov != nil && ov.Kind == OperandInput && in.Offset(b, iy, ix, ic) == ov.Flat {
+				av := ind[base+ic]
+				if base+ic == inFlat {
 					av = ov.Value
 				}
-				woff := w.Offset(ky, kx, ic, oc)
+				woff := wbase + ic*woc + oc
 				switch {
-				case ov != nil && ov.Kind == OperandWeight && woff == ov.Flat:
+				case woff == wFlat:
 					acc += l.codec.Mul(av, ov.Value)
 				case rw != nil:
 					acc += l.codec.MulPre(l.codec.Round(av), rw[woff])
 				default:
-					acc += l.codec.Mul(av, w.At(ky, kx, ic, oc))
+					acc += l.codec.Mul(av, wdat[woff])
 				}
 			}
 		}

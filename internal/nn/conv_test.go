@@ -250,3 +250,68 @@ func TestConvGeometryValidation(t *testing.T) {
 	}()
 	NewConv2D("c", 0, 3, 1, 1, 1, 0, fp32Codec())
 }
+
+// TestInvalidateWeightsMidCampaign guards the rounded-weight cache against
+// stale reads when a campaign mutates weights between experiments (the
+// sensitivity sweep perturbs FF-count estimates by rescaling W in place).
+// After mutate + InvalidateWeights, Forward and ComputeNeuron must both see
+// the new weights and still satisfy the MulPre(Round(a), Round(b)) == Mul(a, b)
+// invariant — i.e. match a pristine layer built directly from the mutated
+// weights, at a lossy precision where rounding actually bites.
+func TestInvalidateWeightsMidCampaign(t *testing.T) {
+	codec := numerics.MustCodec(numerics.FP16, 0)
+	rng := rand.New(rand.NewSource(11))
+	l := NewConv2D("c", 3, 3, 2, 3, 1, 1, codec).InitRandom(rng, 1)
+	x := tensor.New(1, 5, 5, 2)
+	x.RandNormal(rng, 1)
+
+	// Populate the cache, then mutate every weight in place.
+	before := l.Forward(x, nil)
+	for i, v := range l.W.Data() {
+		l.W.Data()[i] = v*1.25 + 0.01
+	}
+	l.InvalidateWeights()
+
+	fresh := NewConv2D("c", 3, 3, 2, 3, 1, 1, codec)
+	fresh.W = l.W.Clone()
+	fresh.B = l.B.Clone()
+	want := fresh.Forward(x, nil)
+	got := l.Forward(x, nil)
+	if !got.Equal(want) {
+		t.Fatal("Forward after InvalidateWeights does not match a fresh layer over the mutated weights")
+	}
+	if got.Equal(before) {
+		t.Fatal("Forward after weight mutation returned the pre-mutation output (stale cache)")
+	}
+	op := &Operands{In: x, W: l.W, B: l.B}
+	for off := 0; off < want.Size(); off += 7 {
+		idx := want.Unflatten(off)
+		if cn := l.ComputeNeuron(op, idx, nil); cn != want.At(idx...) {
+			t.Fatalf("ComputeNeuron(%v) = %v after InvalidateWeights, Forward says %v", idx, cn, want.At(idx...))
+		}
+	}
+
+	// Same contract for Dense, which shares the cache design.
+	d := NewDense("d", 8, 4, codec).InitRandom(rng, 1)
+	xv := tensor.New(1, 8)
+	xv.RandNormal(rng, 1)
+	d.Forward(xv, nil)
+	for i, v := range d.W.Data() {
+		d.W.Data()[i] = v*0.75 - 0.02
+	}
+	d.InvalidateWeights()
+	fd := NewDense("d", 8, 4, codec)
+	fd.W = d.W.Clone()
+	fd.B = d.B.Clone()
+	dwant := fd.Forward(xv, nil)
+	if !d.Forward(xv, nil).Equal(dwant) {
+		t.Fatal("Dense Forward after InvalidateWeights does not match a fresh layer")
+	}
+	dop := &Operands{In: xv, W: d.W, B: d.B}
+	for off := 0; off < dwant.Size(); off++ {
+		idx := dwant.Unflatten(off)
+		if cn := d.ComputeNeuron(dop, idx, nil); cn != dwant.At(idx...) {
+			t.Fatalf("Dense ComputeNeuron(%v) = %v, Forward says %v", idx, cn, dwant.At(idx...))
+		}
+	}
+}

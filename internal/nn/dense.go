@@ -86,34 +86,19 @@ func (l *Dense) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		// the same order as ComputeNeuron (bit-identical; see Conv2D.Forward).
 		rin := l.codec.RoundSlice(flat.Data())
 		rw := l.roundedW()
-		fp16 := l.codec.Precision() == numerics.FP16
-		od := out.Data()
-		var bias []float32
-		if l.B != nil {
-			bias = l.B.Data()
-		}
-		for b := 0; b < batch; b++ {
-			orow := od[b*l.Out : (b+1)*l.Out]
-			for i := 0; i < l.In; i++ {
-				av := rin[b*l.In+i]
-				wrow := rw[i*l.Out : (i+1)*l.Out]
-				if fp16 {
-					for o, wv := range wrow {
-						orow[o] += numerics.RoundHalf(av * wv)
-					}
-				} else {
-					for o, wv := range wrow {
-						orow[o] += av * wv
-					}
-				}
+		if UseReferenceKernels() {
+			denseForwardRef(l, out, rin, rw, batch)
+		} else {
+			var bias []float32
+			if l.B != nil {
+				bias = l.B.Data()
 			}
-			for o := 0; o < l.Out; o++ {
-				acc := orow[o]
-				if bias != nil {
-					acc += bias[o]
-				}
-				orow[o] = l.codec.Saturate(acc)
-			}
+			denseForward(&denseArgs{
+				rin: rin, rw: rw, bias: bias, out: out.Data(),
+				batch: batch, in: l.In, outN: l.Out,
+				fp16:  l.codec.Precision() == numerics.FP16,
+				codec: l.codec,
+			})
 		}
 		ctx.fire(l, op)
 		return out
@@ -132,20 +117,34 @@ func (l *Dense) ComputeNeuron(op *Operands, idx []int, ov *Override) float32 {
 	if op.W == l.W {
 		rw = l.roundedW()
 	}
+	// Flat row-major indexing: the variadic accessors allocate per call and
+	// this is the per-fault hot loop (see Conv2D.ComputeNeuron).
+	ind, wdat := in.Data(), op.W.Data()
+	wo := op.W.Dim(1)
+	inFlat, wFlat := -1, -1
+	if ov != nil {
+		switch ov.Kind {
+		case OperandInput:
+			inFlat = ov.Flat
+		case OperandWeight:
+			wFlat = ov.Flat
+		}
+	}
+	base := b * l.In
 	var acc float32
 	for i := 0; i < l.In; i++ {
-		av := in.At(b, i)
-		if ov != nil && ov.Kind == OperandInput && in.Offset(b, i) == ov.Flat {
+		av := ind[base+i]
+		if base+i == inFlat {
 			av = ov.Value
 		}
-		woff := op.W.Offset(i, o)
+		woff := i*wo + o
 		switch {
-		case ov != nil && ov.Kind == OperandWeight && woff == ov.Flat:
+		case woff == wFlat:
 			acc += l.codec.Mul(av, ov.Value)
 		case rw != nil:
 			acc += l.codec.MulPre(l.codec.Round(av), rw[woff])
 		default:
-			acc += l.codec.Mul(av, op.W.At(i, o))
+			acc += l.codec.Mul(av, wdat[woff])
 		}
 	}
 	if op.B != nil {

@@ -141,6 +141,14 @@ type Context struct {
 	pendingFire  bool
 	pendingVisit int
 	stats        ReplayStats
+
+	// spans tracks, for every dirty (non-golden) tensor produced during a
+	// replayed pass, the flat index span (and spatial box, for rank-4) that
+	// bounds its differences from the golden output. Region-capable layers use
+	// it to recompute only the output region the fault can reach. noRegion
+	// disables the sweep (see SetRegionSweep).
+	spans    map[*tensor.Tensor]span
+	noRegion bool
 }
 
 // NewContext builds a context that invokes hook at every compute site.

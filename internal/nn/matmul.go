@@ -66,44 +66,16 @@ func (l *MatMulSite) Run(a, b *tensor.Tensor, ctx *Context) *tensor.Tensor {
 		// activation that changes every pass.
 		ra := l.codec.RoundSlice(a.Data())
 		rb := l.codec.RoundSlice(b.Data())
-		fp16 := l.codec.Precision() == numerics.FP16
-		od := out.Data()
-		for i := 0; i < m; i++ {
-			arow := ra[i*k : (i+1)*k]
-			orow := od[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := arow[p]
-				if l.TransposeB {
-					// B row j holds (j, p): stride k per output column.
-					if fp16 {
-						for j := 0; j < n; j++ {
-							orow[j] += numerics.RoundHalf(av * rb[j*k+p])
-						}
-					} else {
-						for j := 0; j < n; j++ {
-							orow[j] += av * rb[j*k+p]
-						}
-					}
-					continue
-				}
-				brow := rb[p*n : (p+1)*n]
-				if fp16 {
-					for j, wv := range brow {
-						orow[j] += numerics.RoundHalf(av * wv)
-					}
-				} else {
-					for j, wv := range brow {
-						orow[j] += av * wv
-					}
-				}
-			}
-			for j := 0; j < n; j++ {
-				acc := orow[j]
-				if l.ScaleOut != 0 {
-					acc *= l.ScaleOut
-				}
-				orow[j] = l.codec.Saturate(acc)
-			}
+		if UseReferenceKernels() {
+			matmulForwardRef(l, out, ra, rb, m, k, n)
+		} else {
+			matmulForward(&matmulArgs{
+				ra: ra, rb: rb, out: out.Data(),
+				m: m, k: k, n: n,
+				transposeB: l.TransposeB, scaleOut: l.ScaleOut,
+				fp16:  l.codec.Precision() == numerics.FP16,
+				codec: l.codec,
+			})
 		}
 		ctx.fire(l, op)
 		return out
@@ -117,22 +89,34 @@ func (l *MatMulSite) ComputeNeuron(op *Operands, idx []int, ov *Override) float3
 	i, j := idx[0], idx[1]
 	a, b := op.In, op.W
 	k := a.Dim(1)
+	// Flat row-major indexing: the variadic accessors allocate per call and
+	// this is the per-fault hot loop (see Conv2D.ComputeNeuron).
+	ad, bd := a.Data(), b.Data()
+	bcols := b.Dim(1)
+	inFlat, wFlat := -1, -1
+	if ov != nil {
+		switch ov.Kind {
+		case OperandInput:
+			inFlat = ov.Flat
+		case OperandWeight:
+			wFlat = ov.Flat
+		}
+	}
+	abase := i * k
 	var acc float32
 	for p := 0; p < k; p++ {
-		av := a.At(i, p)
-		if ov != nil && ov.Kind == OperandInput && a.Offset(i, p) == ov.Flat {
+		av := ad[abase+p]
+		if abase+p == inFlat {
 			av = ov.Value
 		}
-		var wv float32
 		var woff int
 		if l.TransposeB {
-			wv = b.At(j, p)
-			woff = b.Offset(j, p)
+			woff = j*bcols + p
 		} else {
-			wv = b.At(p, j)
-			woff = b.Offset(p, j)
+			woff = p*bcols + j
 		}
-		if ov != nil && ov.Kind == OperandWeight && woff == ov.Flat {
+		wv := bd[woff]
+		if woff == wFlat {
 			wv = ov.Value
 		}
 		acc += l.codec.Mul(av, wv)

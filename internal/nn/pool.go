@@ -37,26 +37,43 @@ func (l *MaxPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	}
 	return ctx.exec(l, func() *tensor.Tensor {
 		out := ctx.newTensor(n, oh, ow, c)
-		for b := 0; b < n; b++ {
-			for y := 0; y < oh; y++ {
-				for xx := 0; xx < ow; xx++ {
-					for ch := 0; ch < c; ch++ {
-						m := float32(math.Inf(-1))
-						for py := 0; py < l.Size; py++ {
-							for px := 0; px < l.Size; px++ {
-								v := x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
-								if v > m {
-									m = v
-								}
-							}
-						}
-						out.Set(m, b, y, xx, ch)
-					}
-				}
-			}
-		}
+		maxPoolRegion(x, out, l.Size, l.Stride, 0, oh, 0, ow)
 		return out
 	}, nil, x)
+}
+
+// maxPoolRegion computes max-pool output rows [y0,y1) × cols [x0,x1) with
+// flattened indexing. Window visit order is (py, px) ascending per channel,
+// matching the naive loop (max is order-independent, but we keep the order
+// anyway so NaN tie behavior cannot drift).
+func maxPoolRegion(x, out *tensor.Tensor, size, stride, y0, y1, x0, x1 int) {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	ow := out.Dim(2)
+	xd, od := x.Data(), out.Data()
+	maxs := make([]float32, c)
+	for b := 0; b < n; b++ {
+		for y := y0; y < y1; y++ {
+			for xx := x0; xx < x1; xx++ {
+				for ch := range maxs {
+					maxs[ch] = float32(math.Inf(-1))
+				}
+				for py := 0; py < size; py++ {
+					rowBase := ((b*h+y*stride+py)*w + xx*stride) * c
+					win := xd[rowBase : rowBase+size*c]
+					for px := 0; px < size; px++ {
+						cell := win[px*c : px*c+c]
+						for ch, v := range cell {
+							if v > maxs[ch] {
+								maxs[ch] = v
+							}
+						}
+					}
+				}
+				outBase := ((b*out.Dim(1)+y)*ow + xx) * c
+				copy(od[outBase:outBase+c], maxs)
+			}
+		}
+	}
 }
 
 // AvgPool is a 2-D average pooling layer.
@@ -84,24 +101,45 @@ func (l *AvgPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	ow := (w-l.Size)/l.Stride + 1
 	return ctx.exec(l, func() *tensor.Tensor {
 		out := ctx.newTensor(n, oh, ow, c)
-		inv := 1 / float32(l.Size*l.Size)
-		for b := 0; b < n; b++ {
-			for y := 0; y < oh; y++ {
-				for xx := 0; xx < ow; xx++ {
-					for ch := 0; ch < c; ch++ {
-						var s float32
-						for py := 0; py < l.Size; py++ {
-							for px := 0; px < l.Size; px++ {
-								s += x.At(b, y*l.Stride+py, xx*l.Stride+px, ch)
-							}
+		avgPoolRegion(x, out, l.Size, l.Stride, l.codec, 0, oh, 0, ow)
+		return out
+	}, nil, x)
+}
+
+// avgPoolRegion computes avg-pool output rows [y0,y1) × cols [x0,x1) with
+// flattened indexing. Each channel's sum accumulates window cells in
+// (py, px) ascending order — the same float addition sequence as the naive
+// loop, so results are bit-identical.
+func avgPoolRegion(x, out *tensor.Tensor, size, stride int, codec numerics.Codec, y0, y1, x0, x1 int) {
+	n, h, w, c := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := out.Dim(1), out.Dim(2)
+	xd, od := x.Data(), out.Data()
+	inv := 1 / float32(size*size)
+	sums := make([]float32, c)
+	for b := 0; b < n; b++ {
+		for y := y0; y < y1; y++ {
+			for xx := x0; xx < x1; xx++ {
+				for ch := range sums {
+					sums[ch] = 0
+				}
+				for py := 0; py < size; py++ {
+					rowBase := ((b*h+y*stride+py)*w + xx*stride) * c
+					win := xd[rowBase : rowBase+size*c]
+					for px := 0; px < size; px++ {
+						cell := win[px*c : px*c+c]
+						for ch, v := range cell {
+							sums[ch] += v
 						}
-						out.Set(l.codec.Round(s*inv), b, y, xx, ch)
 					}
+				}
+				outBase := ((b*oh+y)*ow + xx) * c
+				orow := od[outBase : outBase+c]
+				for ch := range orow {
+					orow[ch] = codec.Round(sums[ch] * inv)
 				}
 			}
 		}
-		return out
-	}, nil, x)
+	}
 }
 
 // GlobalAvgPool averages each channel over all spatial positions, producing
@@ -125,15 +163,25 @@ func (l *GlobalAvgPool) Forward(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
 	return ctx.exec(l, func() *tensor.Tensor {
 		out := ctx.newTensor(n, c)
 		inv := 1 / float32(h*w)
+		xd, od := x.Data(), out.Data()
+		sums := make([]float64, c)
+		// Flattened single pass; each channel's float64 sum still accumulates
+		// spatial positions in (y, x) ascending order, so the result is
+		// bit-identical to the naive per-channel walk.
 		for b := 0; b < n; b++ {
-			for ch := 0; ch < c; ch++ {
-				var s float64
-				for y := 0; y < h; y++ {
-					for xx := 0; xx < w; xx++ {
-						s += float64(x.At(b, y, xx, ch))
-					}
+			for ch := range sums {
+				sums[ch] = 0
+			}
+			img := xd[b*h*w*c : (b+1)*h*w*c]
+			for base := 0; base+c <= len(img); base += c {
+				cell := img[base : base+c]
+				for ch, v := range cell {
+					sums[ch] += float64(v)
 				}
-				out.Set(l.codec.Round(float32(s)*inv), b, ch)
+			}
+			orow := od[b*c : (b+1)*c]
+			for ch := range orow {
+				orow[ch] = l.codec.Round(float32(sums[ch]) * inv)
 			}
 		}
 		return out

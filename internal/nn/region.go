@@ -1,0 +1,325 @@
+package nn
+
+// region.go extends the replay engine with dirty-region tracking: when a
+// recomputed layer differs from golden, the replay context records a
+// conservative bound (a span) on *which elements* differ, and downstream
+// layers that support it recompute only the output region those elements can
+// reach, copying everything else from their golden output. For a single-site
+// fault in a deep CNN the dirty region is a few rows tall, so a suffix layer
+// costs O(region) instead of O(layer).
+//
+// Bit-exactness argument: a region-capable layer computes each output neuron
+// with the same tiled kernel (same accumulation order, same rounding) as the
+// full forward pass, and every neuron it does not compute is copied from the
+// golden output. Neurons outside the mapped output region read only input
+// elements outside the recorded input span, which are bit-equal to golden by
+// the span invariant — so recomputing them would reproduce the golden value
+// exactly, and the copy is indistinguishable from recomputation. The span
+// invariant itself is maintained by scanning: every recomputed output is
+// diffed against golden (the scan replay already paid for convergence
+// detection), and the recorded span covers all differing elements.
+
+import (
+	"math"
+
+	"fidelity/internal/numerics"
+	"fidelity/internal/tensor"
+)
+
+// span is a conservative bound on the elements of a tensor that may differ
+// from its golden value: a flat element range [lo, hi), plus a spatial box
+// over the H and W dimensions (all batches, all channels) when the tensor is
+// rank-4 NHWC.
+type span struct {
+	lo, hi         int
+	y0, y1, x0, x1 int
+	boxed          bool
+}
+
+// boxIn resolves the span to a spatial box for a rank-4 tensor of height h
+// and width w with rowStride = w*c elements per row and imgStride = h*w*c
+// per batch image. Unboxed spans that stay within one batch image resolve to
+// their row range at full width; spans crossing batch images resolve to the
+// full spatial extent.
+func (s span) boxIn(h, w, rowStride, imgStride int) (y0, y1, x0, x1 int) {
+	if s.boxed {
+		return s.y0, s.y1, s.x0, s.x1
+	}
+	if s.lo/imgStride == (s.hi-1)/imgStride {
+		return (s.lo / rowStride) % h, ((s.hi-1)/rowStride)%h + 1, 0, w
+	}
+	return 0, h, 0, w
+}
+
+// neq reports whether a and b differ as tensor elements (NaN equals NaN, as
+// in tensor.Equal).
+func neq(a, b float32) bool {
+	return a != b && !(math.IsNaN(float64(a)) && math.IsNaN(float64(b)))
+}
+
+// diffSpanFull scans out against golden and returns the span of differing
+// elements. equal is true (and the span meaningless) when none differ.
+func diffSpanFull(out, golden *tensor.Tensor) (sp span, equal bool) {
+	od, gd := out.Data(), golden.Data()
+	lo := 0
+	for ; lo < len(od); lo++ {
+		if neq(od[lo], gd[lo]) {
+			break
+		}
+	}
+	if lo == len(od) {
+		return span{}, true
+	}
+	hi := len(od) - 1
+	for ; hi > lo; hi-- {
+		if neq(od[hi], gd[hi]) {
+			break
+		}
+	}
+	sp = span{lo: lo, hi: hi + 1}
+	if out.Rank() == 4 {
+		h, w, c := out.Dim(1), out.Dim(2), out.Dim(3)
+		sp = boxify(od, gd, sp, out.Dim(0), h, w, c)
+	}
+	return sp, false
+}
+
+// boxify tightens a flat span over a rank-4 NHWC buffer into a spatial box by
+// scanning the flat range and tracking the row/column extent of differences.
+func boxify(od, gd []float32, sp span, n, h, w, c int) span {
+	rowStride, imgStride := w*c, h*w*c
+	y0, y1, x0, x1 := h, 0, w, 0
+	for i := sp.lo; i < sp.hi; i++ {
+		if !neq(od[i], gd[i]) {
+			continue
+		}
+		y := (i % imgStride) / rowStride
+		x := (i % rowStride) / c
+		if y < y0 {
+			y0 = y
+		}
+		if y >= y1 {
+			y1 = y + 1
+		}
+		if x < x0 {
+			x0 = x
+		}
+		if x >= x1 {
+			x1 = x + 1
+		}
+	}
+	sp.y0, sp.y1, sp.x0, sp.x1 = y0, y1, x0, x1
+	sp.boxed = true
+	return sp
+}
+
+// diffSpanBox scans only the given spatial box of a rank-4 tensor (the region
+// a sweep recomputed; everything outside is a golden copy by construction)
+// and returns the tightened span of differing elements.
+func diffSpanBox(out, golden *tensor.Tensor, y0, y1, x0, x1 int) (sp span, equal bool) {
+	od, gd := out.Data(), golden.Data()
+	n, h, w, c := out.Dim(0), out.Dim(1), out.Dim(2), out.Dim(3)
+	rowStride, imgStride := w*c, h*w*c
+	ry0, ry1, rx0, rx1 := h, 0, w, 0
+	lo, hi := len(od), 0
+	for b := 0; b < n; b++ {
+		for y := y0; y < y1; y++ {
+			base := b*imgStride + y*rowStride + x0*c
+			row := od[base : base+(x1-x0)*c]
+			grow := gd[base : base+(x1-x0)*c]
+			for i, v := range row {
+				if !neq(v, grow[i]) {
+					continue
+				}
+				x := x0 + i/c
+				if y < ry0 {
+					ry0 = y
+				}
+				if y >= ry1 {
+					ry1 = y + 1
+				}
+				if x < rx0 {
+					rx0 = x
+				}
+				if x >= rx1 {
+					rx1 = x + 1
+				}
+				if base+i < lo {
+					lo = base + i
+				}
+				if base+i >= hi {
+					hi = base + i + 1
+				}
+			}
+		}
+	}
+	if hi == 0 {
+		return span{}, true
+	}
+	return span{lo: lo, hi: hi, y0: ry0, y1: ry1, x0: rx0, x1: rx1, boxed: true}, false
+}
+
+// regionSite is implemented by layers that can recompute just the output
+// region reached by a dirty input span. forwardRegion returns the output
+// tensor (seeded from golden outside the region) plus the output box it
+// recomputed; ok is false when the dirty span maps to no output element
+// (e.g. it falls off a stride lattice), meaning the golden output stands.
+type regionSite interface {
+	forwardRegion(c *Context, x, golden *tensor.Tensor, sp span) (out *tensor.Tensor, oy0, oy1, ox0, ox1 int, ok bool)
+}
+
+// windowRange maps a dirty input row range [i0,i1) to the output rows whose
+// kernel windows overlap it, for kernel size k, stride s, padding p, clamped
+// to [0, on).
+func windowRange(i0, i1, k, s, p, on int) (o0, o1 int) {
+	num := i0 + p - k + 1
+	if num > 0 {
+		o0 = (num + s - 1) / s
+	}
+	o1 = (i1-1+p)/s + 1
+	if o1 > on {
+		o1 = on
+	}
+	return o0, o1
+}
+
+// goldenCopy returns an arena-backed copy of golden.
+func (c *Context) goldenCopy(golden *tensor.Tensor) *tensor.Tensor {
+	out := c.arena.get(golden.Shape()...)
+	copy(out.Data(), golden.Data())
+	return out
+}
+
+// forwardRegion implements regionSite for Conv2D: it maps the dirty input box
+// through the kernel window geometry, rounds only the input rows the output
+// box reads, and runs the tiled kernel over that box.
+func (l *Conv2D) forwardRegion(c *Context, x, golden *tensor.Tensor, sp span) (*tensor.Tensor, int, int, int, int, bool) {
+	n, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	os := golden.Shape()
+	oh, ow := os[1], os[2]
+	iy0, iy1, ix0, ix1 := sp.boxIn(h, w, w*l.InC, h*w*l.InC)
+	oy0, oy1 := windowRange(iy0, iy1, l.KH, l.Stride, l.Pad, oh)
+	ox0, ox1 := windowRange(ix0, ix1, l.KW, l.Stride, l.Pad, ow)
+	if oy0 >= oy1 || ox0 >= ox1 {
+		return nil, 0, 0, 0, 0, false
+	}
+	out := c.goldenCopy(golden)
+
+	// Round only the input rows the output box reads. For FP32 rounding is
+	// the identity, so the input buffer is used directly; multi-batch inputs
+	// fall back to rounding the full tensor (row windows are per-image).
+	var rin []float32
+	rinOff := 0
+	var scratch *tensor.Tensor
+	switch {
+	case l.codec.Precision() == numerics.FP32:
+		rin = x.Data()
+	case n == 1:
+		wy0 := oy0*l.Stride - l.Pad
+		if wy0 < 0 {
+			wy0 = 0
+		}
+		wy1 := (oy1-1)*l.Stride + l.KH - l.Pad
+		if wy1 > h {
+			wy1 = h
+		}
+		rowStride := w * l.InC
+		scratch = c.arena.get((wy1 - wy0) * rowStride)
+		rin = scratch.Data()
+		src := x.Data()[wy0*rowStride : wy1*rowStride]
+		for i, v := range src {
+			rin[i] = l.codec.Round(v)
+		}
+		rinOff = wy0 * rowStride
+	default:
+		rin = l.codec.RoundSlice(x.Data())
+	}
+
+	args := l.kernelArgs(x, out, rin, rinOff)
+	accs := make([]float32, args.outC)
+	for bi := 0; bi < n; bi++ {
+		convTile(args, bi, oy0, oy1, ox0, ox1, accs)
+	}
+	if scratch != nil {
+		c.arena.release(scratch)
+	}
+	return out, oy0, oy1, ox0, ox1, true
+}
+
+// forwardRegion implements regionSite for MaxPool.
+func (l *MaxPool) forwardRegion(c *Context, x, golden *tensor.Tensor, sp span) (*tensor.Tensor, int, int, int, int, bool) {
+	h, w, ch := x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := golden.Dim(1), golden.Dim(2)
+	iy0, iy1, ix0, ix1 := sp.boxIn(h, w, w*ch, h*w*ch)
+	oy0, oy1 := windowRange(iy0, iy1, l.Size, l.Stride, 0, oh)
+	ox0, ox1 := windowRange(ix0, ix1, l.Size, l.Stride, 0, ow)
+	if oy0 >= oy1 || ox0 >= ox1 {
+		return nil, 0, 0, 0, 0, false
+	}
+	out := c.goldenCopy(golden)
+	maxPoolRegion(x, out, l.Size, l.Stride, oy0, oy1, ox0, ox1)
+	return out, oy0, oy1, ox0, ox1, true
+}
+
+// forwardRegion implements regionSite for AvgPool.
+func (l *AvgPool) forwardRegion(c *Context, x, golden *tensor.Tensor, sp span) (*tensor.Tensor, int, int, int, int, bool) {
+	h, w, ch := x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := golden.Dim(1), golden.Dim(2)
+	iy0, iy1, ix0, ix1 := sp.boxIn(h, w, w*ch, h*w*ch)
+	oy0, oy1 := windowRange(iy0, iy1, l.Size, l.Stride, 0, oh)
+	ox0, ox1 := windowRange(ix0, ix1, l.Size, l.Stride, 0, ow)
+	if oy0 >= oy1 || ox0 >= ox1 {
+		return nil, 0, 0, 0, 0, false
+	}
+	out := c.goldenCopy(golden)
+	avgPoolRegion(x, out, l.Size, l.Stride, l.codec, oy0, oy1, ox0, ox1)
+	return out, oy0, oy1, ox0, ox1, true
+}
+
+// forwardRegion implements regionSite for Activation (elementwise: the output
+// region is the input span itself).
+func (l *Activation) forwardRegion(c *Context, x, golden *tensor.Tensor, sp span) (*tensor.Tensor, int, int, int, int, bool) {
+	out := c.goldenCopy(golden)
+	od, xd := out.Data(), x.Data()
+	for i := sp.lo; i < sp.hi; i++ {
+		od[i] = l.codec.Round(l.f(xd[i]))
+	}
+	return elementwiseBox(out, sp)
+}
+
+// forwardRegion implements regionSite for BatchNorm. The span is widened to
+// channel-row boundaries so the per-channel scale/shift lookup stays a simple
+// index.
+func (l *BatchNorm) forwardRegion(c *Context, x, golden *tensor.Tensor, sp span) (*tensor.Tensor, int, int, int, int, bool) {
+	ch := x.Dim(x.Rank() - 1)
+	out := c.goldenCopy(golden)
+	od, xd := out.Data(), x.Data()
+	sc := l.Scale.Data()[:ch]
+	sh := l.Shift.Data()[:ch]
+	lo := sp.lo - sp.lo%ch
+	hi := sp.hi + (ch-sp.hi%ch)%ch
+	if hi > len(xd) {
+		hi = len(xd)
+	}
+	for base := lo; base+ch <= hi; base += ch {
+		xrow, orow := xd[base:base+ch], od[base:base+ch]
+		for i, v := range xrow {
+			orow[i] = l.codec.Round(v*sc[i] + sh[i])
+		}
+	}
+	return elementwiseBox(out, sp)
+}
+
+// elementwiseBox converts an elementwise layer's recomputed input span into
+// the forwardRegion return convention: the scan box is the span's own box for
+// rank-4 outputs, or the full spatial extent (flat scan) otherwise.
+func elementwiseBox(out *tensor.Tensor, sp span) (*tensor.Tensor, int, int, int, int, bool) {
+	if out.Rank() != 4 {
+		// Rank-2 and other outputs are scanned fully; exec treats a zero box
+		// as "scan everything".
+		return out, 0, 0, 0, 0, true
+	}
+	h, w, c := out.Dim(1), out.Dim(2), out.Dim(3)
+	y0, y1, x0, x1 := sp.boxIn(h, w, w*c, h*w*c)
+	return out, y0, y1, x0, x1, true
+}

@@ -157,6 +157,10 @@ type ReplayStats struct {
 	// Converged counts recomputed executions whose output matched golden
 	// again (the fault was masked by then), re-enabling downstream skips.
 	Converged int
+	// RegionSwept counts the subset of Recomputed executions served by a
+	// dirty-region sweep (only the output box reached by the fault was
+	// recomputed; the rest was copied from golden).
+	RegionSwept int
 	// MACsAvoided estimates the MAC work of the skipped site executions.
 	MACsAvoided float64
 }
@@ -182,9 +186,15 @@ func NewReplayContext(trace *GoldenTrace, arena *Arena) *Context {
 		glueVisits: map[Layer]int{},
 		trace:      trace,
 		arena:      arena,
+		spans:      map[*tensor.Tensor]span{},
 	}
 	return c
 }
+
+// SetRegionSweep toggles the dirty-region sweep (on by default). With it off,
+// a dirty input recomputes the whole layer as in the original replay engine;
+// the differential suite uses this to prove region sweeps bit-neutral.
+func (c *Context) SetRegionSweep(on bool) { c.noRegion = !on }
 
 // SetTarget arms the replay context for one experiment: hook fires exactly
 // once, at the visit-th execution of site, with operands seeded from the
@@ -198,6 +208,7 @@ func (c *Context) SetTarget(site Layer, visit int, hook Hook) {
 	clear(c.visits)
 	clear(c.execVisits)
 	clear(c.glueVisits)
+	clear(c.spans)
 	c.stats = ReplayStats{}
 }
 
@@ -285,9 +296,54 @@ func (c *Context) exec(l Layer, compute func() *tensor.Tensor, seed seedFn, in .
 		c.stats.MACsAvoided += c.trace.work[key]
 		return golden
 	}
+	if out, handled := c.regionExec(l, key, golden, in); handled {
+		return out
+	}
 	out := compute()
 	c.stats.Recomputed++
 	return c.canonicalize(out, golden)
+}
+
+// regionExec attempts the dirty-region sweep for one execution with dirty
+// inputs: if the layer supports it and the dirty input's span is known, only
+// the output box the span reaches is recomputed. Returns handled=false to
+// fall back to a full recompute.
+func (c *Context) regionExec(l Layer, key execKey, golden *tensor.Tensor, in []*tensor.Tensor) (*tensor.Tensor, bool) {
+	if c.noRegion || c.arena == nil || len(in) != 1 || in[0] == nil {
+		return nil, false
+	}
+	rs, ok := l.(regionSite)
+	if !ok {
+		return nil, false
+	}
+	sp, ok := c.spans[in[0]]
+	if !ok {
+		return nil, false
+	}
+	out, oy0, oy1, ox0, ox1, ok := rs.forwardRegion(c, in[0], golden, sp)
+	if !ok {
+		// The dirty input reaches no output element (it fell off the stride
+		// lattice or the padding crop): the golden output stands.
+		c.stats.Skipped++
+		c.stats.MACsAvoided += c.trace.work[key]
+		return golden, true
+	}
+	c.stats.Recomputed++
+	c.stats.RegionSwept++
+	var nsp span
+	var equal bool
+	if out.Rank() == 4 && oy1 > oy0 {
+		nsp, equal = diffSpanBox(out, golden, oy0, oy1, ox0, ox1)
+	} else {
+		nsp, equal = diffSpanFull(out, golden)
+	}
+	if equal {
+		c.stats.Converged++
+		c.arena.release(out)
+		return golden, true
+	}
+	c.spans[out] = nsp
+	return out, true
 }
 
 // glue wraps a composite layer's own work (residual add, branch concat,
@@ -321,15 +377,23 @@ func (c *Context) glue(l Layer, compute func() *tensor.Tensor, in ...*tensor.Ten
 
 // canonicalize maps a recomputed output that equals its golden value back
 // onto the golden tensor pointer, so downstream dirty tests see it as clean
-// again. The recomputed buffer goes back to the arena.
+// again. The recomputed buffer goes back to the arena. The convergence scan
+// doubles as the span scan: when the output differs, the diff span is
+// recorded so a downstream region-capable layer can sweep only the dirty
+// region. This replaces the Equal scan the engine already paid, so span
+// maintenance is free.
 func (c *Context) canonicalize(out, golden *tensor.Tensor) *tensor.Tensor {
 	if out == golden {
 		return out
 	}
-	if out.Equal(golden) {
+	sp, equal := diffSpanFull(out, golden)
+	if equal {
 		c.stats.Converged++
 		c.arena.release(out)
 		return golden
+	}
+	if c.spans != nil {
+		c.spans[out] = sp
 	}
 	return out
 }

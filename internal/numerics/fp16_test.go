@@ -235,3 +235,43 @@ func TestParsePrecision(t *testing.T) {
 		t.Error("ParsePrecision(bf16) should fail")
 	}
 }
+
+// TestRoundHalfFastPath proves the integer fast path of RoundHalf bit-exact
+// against the reference encode/decode round trip. The sweep covers every half
+// encoding, every float32 exponent with the mantissa patterns that straddle
+// the round-to-nearest-even boundaries, and a large random sample.
+func TestRoundHalfFastPath(t *testing.T) {
+	check := func(f float32) {
+		got, want := RoundHalf(f), RoundHalfRef(f)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("RoundHalf(%v [%#08x]) = %v [%#08x], want %v [%#08x]",
+				f, math.Float32bits(f), got, math.Float32bits(got), want, math.Float32bits(want))
+		}
+	}
+	// Every exact half value, both signs.
+	for h := 0; h <= 0xffff; h++ {
+		check(Half(h).Float32())
+	}
+	// Every float32 exponent × rounding-boundary mantissa patterns. The low 13
+	// bits are what RNE discards; 0x1000 is the tie, 0x0fff/0x1001 bracket it,
+	// and all-ones mantissas exercise the carry into the exponent.
+	mans := []uint32{0x000000, 0x000001, 0x000fff, 0x001000, 0x001001,
+		0x001fff, 0x002000, 0x003000, 0x7fe000, 0x7fefff, 0x7ff000, 0x7fffff}
+	for exp := uint32(0); exp <= 0xff; exp++ {
+		for _, man := range mans {
+			bits := exp<<23 | man
+			check(math.Float32frombits(bits))
+			check(math.Float32frombits(bits | 0x80000000))
+		}
+	}
+	// The overflow boundary around HalfMax (65504): values in (65504, 65520)
+	// round down, 65520 and above round to +Inf.
+	for _, f := range []float32{65503.9, 65504, 65504.01, 65519.996, 65520, 65521, 65535, 65536, 70000} {
+		check(f)
+		check(-f)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2_000_000; i++ {
+		check(math.Float32frombits(rng.Uint32()))
+	}
+}

@@ -23,7 +23,9 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 	phases := map[string]*PhaseSnapshot{}
 	var rec RecoverySnapshot
 	var rep ReplaySnapshot
-	haveRec, haveRep := false, false
+	var bat BatchSnapshot
+	var ker KernelSnapshot
+	haveRec, haveRep, haveBat, haveKer := false, false, false, false
 	for _, s := range snaps {
 		if s.Source != "" {
 			sources[s.Source] = true
@@ -66,8 +68,19 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 			haveRep = true
 			rep.LayersSkipped += r.LayersSkipped
 			rep.LayersRecomputed += r.LayersRecomputed
+			rep.RegionSwept += r.RegionSwept
 			rep.ArenaReuses += r.ArenaReuses
 			rep.MACsAvoidedEst += r.MACsAvoidedEst
+		}
+		if b := s.Batch; b != nil {
+			haveBat = true
+			bat.Batches += b.Batches
+			bat.SiteGroups += b.SiteGroups
+			bat.Experiments += b.Experiments
+		}
+		if k := s.Kernels; k != nil {
+			haveKer = true
+			ker.Tiles += k.Tiles
 		}
 	}
 	if m.ElapsedSec > 0 {
@@ -104,6 +117,15 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 			rep.CacheHitRatio = float64(rep.LayersSkipped) / float64(total)
 		}
 		m.Replay = &rep
+	}
+	if haveBat {
+		if bat.SiteGroups > 0 {
+			bat.AvgGroupSize = float64(bat.Experiments) / float64(bat.SiteGroups)
+		}
+		m.Batch = &bat
+	}
+	if haveKer {
+		m.Kernels = &ker
 	}
 	for src := range sources {
 		m.Sources = append(m.Sources, src)

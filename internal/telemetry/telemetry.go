@@ -46,8 +46,17 @@ type Collector struct {
 	shardBudgets                             sync.Map // shard index (int) -> *shardBudget
 
 	// Replay counters: the incremental replay engine's cumulative savings.
-	replaySkipped, replayRecomputed, replayArena atomic.Int64
-	replayMACs                                   atomic.Uint64 // Float64bits-encoded sum
+	replaySkipped, replayRecomputed, replayRegion, replayArena atomic.Int64
+	replayMACs                                                 atomic.Uint64 // Float64bits-encoded sum
+
+	// Batch counters: site-grouped experiment batching in the campaign shard
+	// loop (batches executed, distinct target-site groups, experiments run
+	// through batches).
+	batches, batchGroups, batchExps atomic.Int64
+
+	// kernelTiles counts compute-kernel tiles executed by the tiled
+	// Conv2D/Dense/MatMul kernels during the campaign's inject phase.
+	kernelTiles atomic.Int64
 }
 
 // Outcomes tallies experiment classifications for one fault model.
@@ -125,12 +134,14 @@ func (c *Collector) RecordQuarantine(shard int, reason string) {
 func (c *Collector) RecordIORetry() { c.ioRetries.Add(1) }
 
 // RecordReplay accumulates one experiment's incremental-replay savings:
-// layer executions skipped vs. recomputed, arena buffer reuses, and the
-// estimated MAC work avoided. Not called when replay is disabled, so
-// full-forward snapshots carry no Replay block.
-func (c *Collector) RecordReplay(skipped, recomputed int, arenaReuses int64, macsAvoided float64) {
+// layer executions skipped vs. recomputed (and the region-swept subset of the
+// recomputes), arena buffer reuses, and the estimated MAC work avoided. Not
+// called when replay is disabled, so full-forward snapshots carry no Replay
+// block.
+func (c *Collector) RecordReplay(skipped, recomputed, regionSwept int, arenaReuses int64, macsAvoided float64) {
 	c.replaySkipped.Add(int64(skipped))
 	c.replayRecomputed.Add(int64(recomputed))
+	c.replayRegion.Add(int64(regionSwept))
 	c.replayArena.Add(arenaReuses)
 	for {
 		old := c.replayMACs.Load()
@@ -140,6 +151,19 @@ func (c *Collector) RecordReplay(skipped, recomputed int, arenaReuses int64, mac
 		}
 	}
 }
+
+// RecordBatch counts one executed experiment batch: groups is the number of
+// distinct target-site groups the batch collapsed into, experiments the
+// number of experiments it ran.
+func (c *Collector) RecordBatch(groups, experiments int) {
+	c.batches.Add(1)
+	c.batchGroups.Add(int64(groups))
+	c.batchExps.Add(int64(experiments))
+}
+
+// AddKernelTiles accumulates compute-kernel tile executions (from the tiled
+// Conv2D/Dense/MatMul kernels) attributed to this collector's campaign.
+func (c *Collector) AddKernelTiles(n int64) { c.kernelTiles.Add(n) }
 
 // SetShardBudget publishes one shard's failure-budget state: quarantines
 // charged so far, the budget limit (negative = unlimited), and whether the
@@ -226,10 +250,32 @@ type RecoverySnapshot struct {
 type ReplaySnapshot struct {
 	LayersSkipped    int64 `json:"layers_skipped"`
 	LayersRecomputed int64 `json:"layers_recomputed"`
+	// RegionSwept is the subset of recomputes served by the dirty-region
+	// sweep (only the fault's output box was recomputed).
+	RegionSwept int64 `json:"region_swept,omitempty"`
 	// CacheHitRatio is skipped / (skipped + recomputed).
 	CacheHitRatio  float64 `json:"cache_hit_ratio"`
 	ArenaReuses    int64   `json:"arena_reuses"`
 	MACsAvoidedEst float64 `json:"macs_avoided_est"`
+}
+
+// BatchSnapshot reports the campaign shard loop's site-grouped experiment
+// batching: how many batch windows ran, how many distinct target-site groups
+// they collapsed into, and the experiments routed through them.
+type BatchSnapshot struct {
+	Batches     int64 `json:"batches"`
+	SiteGroups  int64 `json:"site_groups"`
+	Experiments int64 `json:"experiments"`
+	// AvgGroupSize is experiments / site groups — how many same-site
+	// experiments each golden prefix and arena working set was amortized
+	// over.
+	AvgGroupSize float64 `json:"avg_group_size,omitempty"`
+}
+
+// KernelSnapshot reports compute-kernel execution counters.
+type KernelSnapshot struct {
+	// Tiles counts tiled Conv2D/Dense/MatMul kernel tiles executed.
+	Tiles int64 `json:"tiles"`
 }
 
 // PhaseSnapshot reports one phase's accumulated wall-clock time.
@@ -261,6 +307,12 @@ type Snapshot struct {
 	// Replay is present only when the incremental replay engine ran (it is
 	// omitted entirely when replay is disabled).
 	Replay *ReplaySnapshot `json:"replay,omitempty"`
+	// Batch is present only when the campaign ran site-grouped experiment
+	// batches (omitted for unbatched runs).
+	Batch *BatchSnapshot `json:"batch,omitempty"`
+	// Kernels is present only when kernel tile counts were attributed to
+	// this collector.
+	Kernels *KernelSnapshot `json:"kernels,omitempty"`
 }
 
 // Snapshot captures the current counters. Model keys are sorted into a map
@@ -317,11 +369,26 @@ func (c *Collector) Snapshot() Snapshot {
 		rep := &ReplaySnapshot{
 			LayersSkipped:    skipped,
 			LayersRecomputed: recomputed,
+			RegionSwept:      c.replayRegion.Load(),
 			CacheHitRatio:    float64(skipped) / float64(skipped+recomputed),
 			ArenaReuses:      c.replayArena.Load(),
 			MACsAvoidedEst:   math.Float64frombits(c.replayMACs.Load()),
 		}
 		s.Replay = rep
+	}
+	if batches := c.batches.Load(); batches > 0 {
+		bs := &BatchSnapshot{
+			Batches:     batches,
+			SiteGroups:  c.batchGroups.Load(),
+			Experiments: c.batchExps.Load(),
+		}
+		if bs.SiteGroups > 0 {
+			bs.AvgGroupSize = float64(bs.Experiments) / float64(bs.SiteGroups)
+		}
+		s.Batch = bs
+	}
+	if tiles := c.kernelTiles.Load(); tiles > 0 {
+		s.Kernels = &KernelSnapshot{Tiles: tiles}
 	}
 	c.mu.Lock()
 	for _, p := range c.phases {

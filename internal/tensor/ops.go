@@ -46,8 +46,22 @@ func Scale(t *Tensor, s float32) *Tensor {
 	return t.Map(func(x float32) float32 { return x * s })
 }
 
+// MatMul panel sizes: one B panel (matMulBlockK × matMulBlockN float32s,
+// 128 KiB) plus the touched A and out stripes fit in L2, and the panel is
+// reused across every row of A before the next one is loaded.
+const (
+	matMulBlockK = 128
+	matMulBlockN = 256
+)
+
 // MatMul computes the matrix product of a (m×k) and b (k×n). Both tensors
 // must be rank 2.
+//
+// The loop is cache-blocked over (k, n) panels of B. For every output
+// element the depth index p is still visited in strictly increasing order
+// (panels advance outer-to-inner), so the float accumulation order — and
+// therefore every bit of the result, NaN payloads excepted — is identical to
+// the naive i/p/j loop, which matMulRef preserves as the test oracle.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v and %v", a.shape, b.shape))
@@ -57,6 +71,42 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions %d and %d differ", k, k2))
 	}
+	out := New(m, n)
+	for p0 := 0; p0 < k; p0 += matMulBlockK {
+		p1 := p0 + matMulBlockK
+		if p1 > k {
+			p1 = k
+		}
+		for j0 := 0; j0 < n; j0 += matMulBlockN {
+			j1 := j0 + matMulBlockN
+			if j1 > n {
+				j1 = n
+			}
+			for i := 0; i < m; i++ {
+				arow := a.data[i*k+p0 : i*k+p1]
+				orow := out.data[i*n+j0 : i*n+j1 : i*n+j1]
+				for pi, av := range arow {
+					// Skipping av==0 must stay: matMulRef skips it too, and
+					// 0*Inf would otherwise turn into NaN under faults.
+					if av == 0 {
+						continue
+					}
+					brow := b.data[(p0+pi)*n+j0 : (p0+pi)*n+j1 : (p0+pi)*n+j1]
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matMulRef is the pre-blocking MatMul loop, frozen as the bit-exactness
+// oracle for the property tests.
+func matMulRef(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
 	out := New(m, n)
 	for i := 0; i < m; i++ {
 		arow := a.data[i*k : (i+1)*k]

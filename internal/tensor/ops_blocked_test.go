@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitsEqual compares two tensors bit-for-bit, signed zeros included — the
+// contract the blocked MatMul must meet against the frozen reference loop.
+// NaNs compare equal regardless of payload: which payload an x86 ADDSS
+// propagates depends on register allocation (it differs between -race and
+// plain builds of the very same loop), so payloads are codegen-defined and
+// explicitly outside the contract.
+func bitsEqual(a, b *Tensor) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.data {
+		x, y := a.data[i], b.data[i]
+		if math.IsNaN(float64(x)) && math.IsNaN(float64(y)) {
+			continue
+		}
+		if math.Float32bits(x) != math.Float32bits(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMatMulBlockedMatchesReference sweeps shapes that land on every panel
+// geometry — smaller than a panel, exact multiples, ragged remainders in k
+// and n, degenerate single rows/columns — and requires the blocked loop to
+// be bit-identical to matMulRef on dense random operands.
+func TestMatMulBlockedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := [][3]int{
+		{1, 1, 1},
+		{3, 5, 7},
+		{8, matMulBlockK, matMulBlockN},
+		{4, matMulBlockK + 1, matMulBlockN + 1},
+		{5, matMulBlockK - 1, 2*matMulBlockN + 3},
+		{2, 3 * matMulBlockK, 17},
+		{1, 300, 1},
+		{17, 1, 300},
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := New(m, k)
+		a.RandNormal(rng, 1)
+		b := New(k, n)
+		b.RandNormal(rng, 1)
+		if got, want := MatMul(a, b), matMulRef(a, b); !bitsEqual(got, want) {
+			t.Errorf("MatMul(%dx%d, %dx%d) differs from reference", m, k, n, n)
+		}
+	}
+}
+
+// TestMatMulBlockedSpecialValues covers the fault-injection regime: operands
+// holding NaN, ±Inf, signed zeros and exact zeros (the skip-zero path). The
+// blocked loop must reproduce the reference bit-for-bit even where float
+// arithmetic is non-associative or poisoning.
+func TestMatMulBlockedSpecialValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	specials := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		math.Float32frombits(0x7fc00001), // NaN with a payload
+	}
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(2*matMulBlockK), 1+rng.Intn(2*matMulBlockN)
+		a := New(m, k)
+		b := New(k, n)
+		for i := range a.data {
+			if rng.Intn(4) == 0 {
+				a.data[i] = specials[rng.Intn(len(specials))]
+			} else {
+				a.data[i] = float32(rng.NormFloat64())
+			}
+		}
+		for i := range b.data {
+			if rng.Intn(4) == 0 {
+				b.data[i] = specials[rng.Intn(len(specials))]
+			} else {
+				b.data[i] = float32(rng.NormFloat64())
+			}
+		}
+		if got, want := MatMul(a, b), matMulRef(a, b); !bitsEqual(got, want) {
+			t.Errorf("trial %d (%dx%dx%d): blocked MatMul differs from reference on special values", trial, m, k, n)
+		}
+	}
+}
