@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Coordinator address used by the `work` convenience target.
 COORDINATOR ?= http://127.0.0.1:9090
 
-.PHONY: build test race chaos bench bench-json fmt vet lint serve work e2e-distrib ci
+.PHONY: build test race chaos bench bench-json fmt vet fidelitylint lint verify serve work e2e-distrib ci
 
 build:
 	$(GO) build ./...
@@ -68,13 +68,23 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The repo's own invariant checkers (DESIGN.md §8): build the vettool from
+# source — stdlib only, no network — and run it over every package. Fails on
+# any unsuppressed finding, including malformed or unused //lint:allow
+# comments.
+fidelitylint:
+	$(GO) build -o bin/fidelitylint ./cmd/fidelitylint
+	$(GO) vet -vettool=$(CURDIR)/bin/fidelitylint ./...
+
 # Static analysis + known-vulnerability scan, pinned so CI and local runs
-# agree. Downloads the tools on first use (network required); when the tool
-# itself cannot be fetched (offline/air-gapped runs), warn and skip rather
-# than fail — real findings from a tool that did run still fail. Keep the
-# error patterns in sync with the `lint` job in ci.yml.
+# agree. fidelitylint runs first: it builds offline, so air-gapped runners
+# still get invariant checking even when the network-fetched tools below are
+# skipped. staticcheck/govulncheck download on first use (network required);
+# when the tool itself cannot be fetched (offline/air-gapped runs), warn and
+# skip rather than fail — real findings from a tool that did run still fail.
+# Keep the error patterns in sync with the `lint` job in ci.yml.
 OFFLINE_ERRS := dial tcp|no such host|i/o timeout|connection refused|TLS handshake timeout|proxyconnect
-lint:
+lint: fidelitylint
 	@out=$$($(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./... 2>&1); st=$$?; \
 	echo "$$out"; \
 	if [ $$st -ne 0 ] && echo "$$out" | grep -Eq '$(OFFLINE_ERRS)'; then \
@@ -100,4 +110,8 @@ work:
 e2e-distrib:
 	$(GO) test -race -count=1 -run 'TestDistrib' ./internal/distrib/
 
-ci: fmt vet build test race chaos bench
+# The fast pre-commit gate: format, vet, the repo's own invariant checkers,
+# build, test. Everything here runs offline.
+verify: fmt vet fidelitylint build test
+
+ci: fmt vet fidelitylint build test race chaos bench

@@ -227,7 +227,7 @@ func BenchmarkSpeedup(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	reports, err := campaign.MeasureSpeedup(cfg, ws, 100, 1)
+	reports, err := campaign.MeasureSpeedup(context.Background(), cfg, ws, 100, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func BenchmarkSpeedup(b *testing.B) {
 	once(b, "speedup", string(sb))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := campaign.MeasureSpeedup(cfg, ws[:1], 5, int64(i)); err != nil {
+		if _, err := campaign.MeasureSpeedup(context.Background(), cfg, ws[:1], 5, int64(i)); err != nil {
 			b.Fatal(err)
 		}
 	}

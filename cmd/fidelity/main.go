@@ -166,12 +166,17 @@ func sensitivity(ctx context.Context, args []string) error {
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = off)")
 	failBudget := fs.Int("failure-budget", 0, "max quarantined experiments per shard (0 = default, negative = unlimited)")
 	noReplay := fs.Bool("no-replay", false, "disable the incremental golden-replay engine (bit-identical results, slower)")
-	batch := fs.Int("batch", 0, "experiment batch window for site-grouped execution (0 = default, 1 = unbatched; bit-identical results for every value)")
+	batch := fs.Int("batch", campaign.DefaultExperimentBatch, "experiment batch window for site-grouped execution (1 = unbatched; bit-identical results for every value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *samples <= 0 {
 		fmt.Fprintf(os.Stderr, "fidelity: -samples must be positive (got %d)\n", *samples)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *batch <= 0 {
+		fmt.Fprintf(os.Stderr, "fidelity: -batch must be positive (got %d; 1 disables batching)\n", *batch)
 		fs.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("FIDELITY_CLI_TEST") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FIDELITY_CLI_TEST=1")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String(), code
+}
+
+func TestSensitivityBatchFlagRejectsNonPositive(t *testing.T) {
+	for _, bad := range []string{"0", "-1"} {
+		out, code := runCLI(t, "sensitivity", "-batch", bad)
+		if code != 2 {
+			t.Errorf("sensitivity -batch %s: exit %d, want usage exit 2\n%s", bad, code, out)
+		}
+		if !strings.Contains(out, "-batch must be positive") {
+			t.Errorf("sensitivity -batch %s: missing validation message:\n%s", bad, out)
+		}
+	}
+}
+
+func TestUnknownSubcommandExitsTwo(t *testing.T) {
+	out, code := runCLI(t, "nosuchcmd")
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("unknown subcommand: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	out, code := runCLI(t, "table1")
+	if code != 0 || !strings.Contains(out, "Table I") {
+		t.Fatalf("table1: exit %d, output:\n%s", code, out)
+	}
+}

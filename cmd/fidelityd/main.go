@@ -106,7 +106,7 @@ func serve(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 0, "deterministic sampling shards (0 = default; campaign identity like -seed)")
 	perLayer := fs.Bool("perlayer", false, "estimate Prob_SWmask per layer (multiplies experiment count)")
 	noReplay := fs.Bool("no-replay", false, "workers run full forward passes instead of incremental golden replay")
-	batch := fs.Int("batch", 0, "experiment batch window for site-grouped execution (0 = default, 1 = unbatched; byte-identical results for every value)")
+	batch := fs.Int("batch", campaign.DefaultExperimentBatch, "experiment batch window for site-grouped execution (1 = unbatched; byte-identical results for every value)")
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline on workers (0 = off)")
 	failBudget := fs.Int("failure-budget", 0, "max quarantined experiments per shard before it degrades (0 = default)")
 	leaseTTL := fs.Duration("lease-ttl", distrib.DefaultLeaseTTL, "per-lease heartbeat budget; lapsed leases are re-issued")
@@ -126,6 +126,9 @@ func serve(ctx context.Context, args []string) error {
 	}
 	if *leaseTTL <= 0 {
 		usageError(fs, "-lease-ttl must be positive (got %v)", *leaseTTL)
+	}
+	if *batch <= 0 {
+		usageError(fs, "-batch must be positive (got %d; 1 disables batching)", *batch)
 	}
 
 	tel := telemetry.New()

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("FIDELITYD_CLI_TEST") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FIDELITYD_CLI_TEST=1")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String(), code
+}
+
+// serve's flag validation runs before any listener binds, so rejected
+// invocations exit immediately without touching the network.
+func TestServeBatchFlagRejectsNonPositive(t *testing.T) {
+	for _, bad := range []string{"0", "-8"} {
+		out, code := runCLI(t, "serve", "-batch", bad)
+		if code != 2 {
+			t.Errorf("serve -batch %s: exit %d, want usage exit 2\n%s", bad, code, out)
+		}
+		if !strings.Contains(out, "-batch must be positive") {
+			t.Errorf("serve -batch %s: missing validation message:\n%s", bad, out)
+		}
+	}
+}
+
+func TestServeLeaseTTLStillValidated(t *testing.T) {
+	out, code := runCLI(t, "serve", "-lease-ttl", "-1s")
+	if code != 2 || !strings.Contains(out, "-lease-ttl must be positive") {
+		t.Fatalf("serve -lease-ttl -1s: exit %d, output:\n%s", code, out)
+	}
+}

@@ -1,0 +1,241 @@
+// Command fidelitylint runs the internal/lint analyzer suite — the
+// determinism and robustness invariants described in DESIGN.md §8 — over Go
+// packages. It is built on the standard library alone, so it compiles and
+// runs with no network access.
+//
+// Two modes:
+//
+//	fidelitylint [-only detrand,maporder] ./...
+//	    Standalone: re-executes `go vet -vettool=<self> <patterns>` so the
+//	    Go toolchain handles package loading and export data.
+//
+//	go vet -vettool=$(pwd)/bin/fidelitylint ./...
+//	    Vettool: speaks the cmd/vet unitchecker protocol (-V=full, -flags,
+//	    then a single path/to/vet.cfg argument per package).
+//
+// `fidelitylint help` lists the analyzers with their documentation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"fidelity/internal/lint"
+)
+
+const version = "fidelitylint version v1.0.0"
+
+// vetConfig mirrors the JSON config cmd/vet hands to analysis tools. Field
+// names must match the toolchain's (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	vFlag := flag.String("V", "", "print version and exit (vettool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (vettool protocol)")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer subset to run (default: all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	// Protocol handshake: `go vet` probes the tool with -V=full before
+	// anything else, then asks for its flag inventory.
+	if *vFlag != "" {
+		fmt.Println(version)
+		return
+	}
+	if *flagsFlag {
+		fmt.Println("[]")
+		return
+	}
+
+	analyzers, err := lint.ByName(*onlyFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	switch {
+	case len(args) == 1 && args[0] == "help":
+		printHelp()
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		runVetCfg(args[0], analyzers)
+	case len(args) > 0:
+		runStandalone(args, *onlyFlag)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  fidelitylint [-only a,b] ./...        run via the local go toolchain
+  go vet -vettool=fidelitylint ./...    run as a vet tool
+  fidelitylint help                     describe the analyzers
+`)
+}
+
+func printHelp() {
+	fmt.Println("fidelitylint enforces the engine's determinism and robustness invariants.")
+	fmt.Println()
+	for _, a := range lint.Analyzers() {
+		fmt.Printf("%s\n", a.Name)
+		for _, line := range strings.Split(a.Doc, "\n") {
+			fmt.Printf("    %s\n", line)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Suppress a reviewed finding in place with: //lint:allow <analyzer> <reason>")
+}
+
+// runStandalone re-executes the tool through `go vet -vettool=<self>` so the
+// toolchain does package loading; diagnostics pass through verbatim.
+func runStandalone(patterns []string, only string) {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+		os.Exit(1)
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	if only != "" {
+		// go vet forwards unrecognized tool flags declared via -flags; we
+		// declare none, so thread the subset through the environment.
+		os.Setenv(onlyEnv, only)
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Env = os.Environ()
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+		os.Exit(1)
+	}
+}
+
+// onlyEnv threads the -only selection from the standalone front-end to the
+// vettool child processes go vet spawns.
+const onlyEnv = "FIDELITYLINT_ONLY"
+
+// runVetCfg handles one unitchecker invocation: parse and type-check the
+// package described by the .cfg, run the analyzers, print diagnostics to
+// stderr. Exit codes follow the protocol: 0 clean, 1 hard error, 2
+// diagnostics found (go vet turns 2 into its own exit 1 after printing).
+func runVetCfg(cfgPath string, analyzers []*lint.Analyzer) {
+	if only := os.Getenv(onlyEnv); only != "" {
+		var err error
+		analyzers, err = lint.ByName(only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+			os.Exit(1)
+		}
+	}
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+		os.Exit(1)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fidelitylint: parsing %s: %v\n", cfgPath, err)
+		os.Exit(1)
+	}
+
+	// The facts file must exist even when empty — go vet caches it and
+	// feeds it back as PackageVetx for dependents.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "fidelitylint:", err)
+			os.Exit(1)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the export data the toolchain already built,
+	// exactly as cmd/vet's own checkers do.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Sizes:    types.SizesFor(cfg.Compiler, "amd64"),
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "fidelitylint: typechecking %s: %v\n", cfg.ImportPath, err)
+		os.Exit(1)
+	}
+
+	diags := lint.Run(&lint.Package{Fset: fset, Files: files, Pkg: pkg, Info: info}, analyzers)
+	if len(diags) == 0 {
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	os.Exit(2)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("FIDELITYLINT_CLI_TEST") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FIDELITYLINT_CLI_TEST=1")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String(), code
+}
+
+// The vettool handshake: go vet probes with -V=full and -flags before
+// handing over a vet.cfg; both must succeed and print the expected shapes.
+func TestVettoolHandshake(t *testing.T) {
+	out, code := runCLI(t, "-V=full")
+	if code != 0 || !strings.HasPrefix(out, "fidelitylint version ") {
+		t.Fatalf("-V=full: exit %d, output %q", code, out)
+	}
+	out, code = runCLI(t, "-flags")
+	if code != 0 || strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags: exit %d, output %q", code, out)
+	}
+}
+
+func TestHelpListsEveryAnalyzer(t *testing.T) {
+	out, code := runCLI(t, "help")
+	if code != 0 {
+		t.Fatalf("help: exit %d\n%s", code, out)
+	}
+	for _, name := range []string{"detrand", "maporder", "ctxflow", "wallclock", "ioretry", "lint:allow"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("help output lacks %q", name)
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	out, code := runCLI(t, "-only", "nosuch", "help")
+	if code != 2 || !strings.Contains(out, "unknown analyzer") {
+		t.Fatalf("-only nosuch: exit %d, output %q", code, out)
+	}
+}
+
+func TestNoArgsPrintsUsage(t *testing.T) {
+	out, code := runCLI(t)
+	if code != 2 || !strings.Contains(out, "usage:") {
+		t.Fatalf("no args: exit %d, output %q", code, out)
+	}
+}

@@ -77,7 +77,7 @@ func main() {
 	ioBackoff := flag.Duration("io-backoff", 0, "initial backoff between I/O retries, doubling per attempt (0 = default)")
 	noReplay := flag.Bool("no-replay", false, "disable the incremental golden-replay engine and run every experiment as a full forward pass (bit-identical results, slower)")
 	noRegion := flag.Bool("no-region-sweep", false, "recompute whole layers during replay instead of only the dirty output region (bit-identical results, slower)")
-	batch := flag.Int("batch", 0, "experiment batch window for site-grouped execution (0 = default, 1 = unbatched; bit-identical results for every value)")
+	batch := flag.Int("batch", campaign.DefaultExperimentBatch, "experiment batch window for site-grouped execution (1 = unbatched; bit-identical results for every value)")
 	flag.Parse()
 	if *samples <= 0 {
 		usageError("-samples must be positive (got %d)", *samples)
@@ -93,6 +93,9 @@ func main() {
 	}
 	if *workers < 0 {
 		usageError("-workers must be non-negative (got %d; 0 selects the default)", *workers)
+	}
+	if *batch <= 0 {
+		usageError("-batch must be positive (got %d; 1 disables batching)", *batch)
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context; workers stop at an
@@ -159,7 +162,7 @@ func main() {
 		err = keyResult5(r)
 	case *speedup:
 		r.mode = "speedup"
-		err = speedupCmp(fw, *iters, *seed)
+		err = speedupCmp(ctx, fw, *iters, *seed)
 	case *naive:
 		r.mode = "baseline"
 		err = naiveCmp(r)
@@ -362,19 +365,16 @@ func (r *runner) writeManifest(path string, intr *campaign.Interrupted) {
 			m.Checkpoint = r.opts.CheckpointPath
 		}
 	}
-	blob, err := json.MarshalIndent(m, "", " ")
-	if err == nil {
-		retries, backoff := r.opts.IORetries, r.opts.IOBackoff
-		if retries <= 0 {
-			retries = campaign.DefaultIORetries
-		}
-		if backoff <= 0 {
-			backoff = campaign.DefaultIOBackoff
-		}
-		err = campaign.RetryIO(r.tel, retries, backoff, func() error {
-			return os.WriteFile(path, append(blob, '\n'), 0o644)
-		})
+	retries, backoff := r.opts.IORetries, r.opts.IOBackoff
+	if retries <= 0 {
+		retries = campaign.DefaultIORetries
 	}
+	if backoff <= 0 {
+		backoff = campaign.DefaultIOBackoff
+	}
+	err := campaign.RetryIO(r.tel, retries, backoff, func() error {
+		return campaign.AtomicWriteJSON(path, m)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "study: manifest:", err)
 	}
@@ -466,8 +466,8 @@ func keyResult5(r *runner) error {
 	return nil
 }
 
-func speedupCmp(fw *core.Framework, iters int, seed int64) error {
-	reports, err := fw.Speedup(iters, seed)
+func speedupCmp(ctx context.Context, fw *core.Framework, iters int, seed int64) error {
+	reports, err := fw.Speedup(ctx, iters, seed)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the CLI: when re-exec'd with
+// the marker env var set, it runs main() instead of the test suite, so CLI
+// tests exercise real flag parsing and exit codes without a separate build.
+func TestMain(m *testing.M) {
+	if os.Getenv("STUDY_CLI_TEST") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "STUDY_CLI_TEST=1")
+	// Run in a scratch dir so the default -manifest artifact lands there,
+	// not in the package directory.
+	cmd.Dir = t.TempDir()
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("run %v: %v", args, err)
+	}
+	return buf.String(), code
+}
+
+func TestBatchFlagRejectsNonPositive(t *testing.T) {
+	for _, bad := range []string{"0", "-3"} {
+		out, code := runCLI(t, "-batch", bad, "-setup")
+		if code != 2 {
+			t.Errorf("-batch %s: exit %d, want usage exit 2\n%s", bad, code, out)
+		}
+		if !strings.Contains(out, "-batch must be positive") {
+			t.Errorf("-batch %s: missing validation message in output:\n%s", bad, out)
+		}
+	}
+}
+
+func TestBatchFlagAcceptsPositive(t *testing.T) {
+	// -setup only prints a static table, so a valid invocation exits 0
+	// without running a campaign.
+	out, code := runCLI(t, "-batch", "1", "-setup")
+	if code != 0 {
+		t.Fatalf("-batch 1 -setup: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "Table IV") {
+		t.Fatalf("-setup output missing Table IV:\n%s", out)
+	}
+}
+
+func TestExistingFlagValidationStillExitsTwo(t *testing.T) {
+	out, code := runCLI(t, "-samples", "0", "-setup")
+	if code != 2 || !strings.Contains(out, "-samples must be positive") {
+		t.Fatalf("-samples 0: exit %d, output:\n%s", code, out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fidelity/internal/accel"
 	"fidelity/internal/campaign"
 	"fidelity/internal/dataset"
+	"fidelity/internal/faultmodel"
 	"fidelity/internal/fit"
 	"fidelity/internal/model"
 	"fidelity/internal/nn"
@@ -53,7 +54,7 @@ func Run(cfg *accel.Config, w *model.Workload, opts Options) (*Result, error) {
 	if opts.RawFITPerMB == 0 {
 		opts.RawFITPerMB = fit.RawFFFITPerMB
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := rand.New(faultmodel.NewStreamSource(opts.Seed))
 	res := &Result{}
 	for i := 0; i < opts.Inputs; i++ {
 		x, err := dataset.Sample(w.Dataset, i)

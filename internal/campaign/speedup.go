@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -38,7 +39,9 @@ type Speedup struct {
 
 // MeasureSpeedup times software fault injection against the cycle-level
 // reference for each workload, running iters injections of each kind.
-func MeasureSpeedup(cfg *accel.Config, workloads []*ValWorkload, iters int, seed int64) ([]Speedup, error) {
+// Cancelling ctx stops the measurement at the next workload boundary —
+// the cycle-level reference runs can take seconds per workload.
+func MeasureSpeedup(ctx context.Context, cfg *accel.Config, workloads []*ValWorkload, iters int, seed int64) ([]Speedup, error) {
 	if iters <= 0 {
 		return nil, fmt.Errorf("campaign: iters must be positive")
 	}
@@ -48,6 +51,9 @@ func MeasureSpeedup(cfg *accel.Config, workloads []*ValWorkload, iters int, seed
 	}
 	var out []Speedup
 	for _, w := range workloads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sampler, err := faultmodel.NewSampler(models, seed)
 		if err != nil {
 			return nil, err
@@ -59,6 +65,7 @@ func MeasureSpeedup(cfg *accel.Config, workloads []*ValWorkload, iters int, seed
 		op := w.operands(golden.Out)
 
 		// Software fault injection: plan + apply + restore.
+		//lint:allow wallclock the Sec. VI speedup comparison IS a wall-clock measurement deliverable
 		swStart := time.Now()
 		for i := 0; i < iters; i++ {
 			plan, err := sampler.Plan(faultmodel.CBUFMACWeight, w.Site, 0, op)
@@ -70,6 +77,7 @@ func MeasureSpeedup(cfg *accel.Config, workloads []*ValWorkload, iters int, seed
 				op.Out.Data()[c.Flat] = c.Golden
 			}
 		}
+		//lint:allow wallclock the Sec. VI speedup comparison IS a wall-clock measurement deliverable
 		swSec := time.Since(swStart).Seconds() / float64(iters)
 
 		// Cycle-level (mixed-mode analog) injection: full simulation per
@@ -83,6 +91,7 @@ func MeasureSpeedup(cfg *accel.Config, workloads []*ValWorkload, iters int, seed
 		if mixIters > 10 {
 			mixIters = 10 // the cycle simulator is orders slower; sample it
 		}
+		//lint:allow wallclock the Sec. VI speedup comparison IS a wall-clock measurement deliverable
 		mmStart := time.Now()
 		for i := 0; i < mixIters; i++ {
 			f := &rtlsim.Fault{
@@ -93,6 +102,7 @@ func MeasureSpeedup(cfg *accel.Config, workloads []*ValWorkload, iters int, seed
 				return nil, err
 			}
 		}
+		//lint:allow wallclock the Sec. VI speedup comparison IS a wall-clock measurement deliverable
 		mmSec := time.Since(mmStart).Seconds() / float64(mixIters)
 
 		cycles, err := rtlsim.GoldenCycles(cfg, w.RTL)

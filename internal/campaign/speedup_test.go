@@ -1,13 +1,14 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"fidelity/internal/accel"
 )
 
 func TestMeasureSpeedupValidation(t *testing.T) {
-	if _, err := MeasureSpeedup(accel.NVDLASmall(), nil, 0, 1); err == nil {
+	if _, err := MeasureSpeedup(context.Background(), accel.NVDLASmall(), nil, 0, 1); err == nil {
 		t.Error("zero iters should fail")
 	}
 }
@@ -21,7 +22,7 @@ func TestSpeedupShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := accel.NVDLASmall()
-	reports, err := MeasureSpeedup(cfg, ws[:3], 50, 2)
+	reports, err := MeasureSpeedup(context.Background(), cfg, ws[:3], 50, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,7 @@ func TableIIIWorkloads() ([]*ValWorkload, error) {
 	var out []*ValWorkload
 
 	conv := func(name string, seed int64, h, w, inC, outC, kh, stride, pad int) {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(faultmodel.NewStreamSource(seed))
 		c := nn.NewConv2D(name, kh, kh, inC, outC, stride, pad, codec).InitRandom(rng, 0.4)
 		x := tensor.New(1, h, w, inC)
 		x.RandNormal(rng, 1)
@@ -45,7 +45,7 @@ func TableIIIWorkloads() ([]*ValWorkload, error) {
 		})
 	}
 	fc := func(name string, seed int64, rows, in, outN int) {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(faultmodel.NewStreamSource(seed))
 		d := nn.NewDense(name, in, outN, codec).InitRandom(rng, 0.3)
 		x := tensor.New(rows, in)
 		x.RandNormal(rng, 1)
@@ -64,7 +64,7 @@ func TableIIIWorkloads() ([]*ValWorkload, error) {
 	fc("rnn-lstm-fc", 105, 8, 30, 16)
 
 	// Attention MatMul.
-	rng := rand.New(rand.NewSource(106))
+	rng := rand.New(faultmodel.NewStreamSource(106))
 	mm := nn.NewMatMulSite("transformer-matmul", false, 0, codec)
 	a := tensor.New(18, 16)
 	b := tensor.New(16, 18)
@@ -178,7 +178,7 @@ func Validate(cfg *accel.Config, workloads []*ValWorkload, samplesPerWorkload in
 		totalW += c.weight
 	}
 
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(faultmodel.NewStreamSource(seed))
 	rep := &ValidationReport{}
 	for _, w := range workloads {
 		golden, err := rtlsim.Run(cfg, w.RTL, nil)

@@ -68,12 +68,12 @@ func (f *Framework) NaiveBaseline(netName string, prec numerics.Precision, opts 
 }
 
 // Speedup measures the Sec. VI per-injection cost comparison.
-func (f *Framework) Speedup(iters int, seed int64) ([]campaign.Speedup, error) {
+func (f *Framework) Speedup(ctx context.Context, iters int, seed int64) ([]campaign.Speedup, error) {
 	ws, err := campaign.TableIIIWorkloads()
 	if err != nil {
 		return nil, err
 	}
-	return campaign.MeasureSpeedup(f.Config, ws, iters, seed)
+	return campaign.MeasureSpeedup(ctx, f.Config, ws, iters, seed)
 }
 
 // TableI renders the Reuse Factor Analysis summary (paper Table I).

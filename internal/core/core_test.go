@@ -70,7 +70,7 @@ func TestFrameworkBaselineAndSpeedup(t *testing.T) {
 	if nb.Experiments != 10 {
 		t.Errorf("experiments = %d", nb.Experiments)
 	}
-	sp, err := fw.Speedup(10, 1)
+	sp, err := fw.Speedup(context.Background(), 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

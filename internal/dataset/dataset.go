@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"fidelity/internal/faultmodel"
 	"fidelity/internal/tensor"
 )
 
@@ -34,7 +35,7 @@ const (
 // Image synthesizes one natural-image-like NHWC tensor: a few smooth
 // Gaussian blobs over a textured background, normalized to roughly [-1, 1].
 func Image(h, w, c int, seed int64) *tensor.Tensor {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(faultmodel.NewStreamSource(seed))
 	img := tensor.New(1, h, w, c)
 	type blob struct {
 		cy, cx, sigma float64
@@ -72,7 +73,7 @@ func Image(h, w, c int, seed int64) *tensor.Tensor {
 // (each token prefers a successor near itself), mimicking natural-language
 // statistics enough to exercise embedding/attention paths.
 func Tokens(seqLen, vocab int, seed int64) []int {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(faultmodel.NewStreamSource(seed))
 	out := make([]int, seqLen)
 	cur := rng.Intn(vocab)
 	for i := range out {
@@ -89,7 +90,7 @@ func Tokens(seqLen, vocab int, seed int64) []int {
 // TimeSeries synthesizes a (steps, channels) activity-recognition-like
 // signal: per-channel sinusoids with random phase/frequency plus noise.
 func TimeSeries(steps, channels int, seed int64) *tensor.Tensor {
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(faultmodel.NewStreamSource(seed))
 	ts := tensor.New(steps, channels)
 	for ch := 0; ch < channels; ch++ {
 		freq := 0.05 + rng.Float64()*0.3

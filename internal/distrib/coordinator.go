@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -160,7 +161,7 @@ func (c *Coordinator) load() error {
 	if st.Version != stateVersion {
 		return fmt.Errorf("distrib: state %s has version %d, want %d", c.statePath, st.Version, stateVersion)
 	}
-	if st.Spec != c.spec {
+	if st.Spec.Normalize() != c.spec {
 		return fmt.Errorf("distrib: state %s describes a different campaign spec; refusing to resume", c.statePath)
 	}
 	if !st.Checkpoint.Matches(c.cfg, c.w, c.opts, c.spec.Shards) {
@@ -236,6 +237,7 @@ func (c *Coordinator) persistLocked() error {
 	for _, le := range c.table.leases {
 		st.Leases = append(st.Leases, persistedLease{ID: le.id, Shard: le.shard, Worker: le.worker, Deadline: le.deadline})
 	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
 	err := campaign.RetryIO(c.tel, campaign.DefaultIORetries, campaign.DefaultIOBackoff, func() error {
 		return campaign.AtomicWriteJSON(c.statePath, &st)
 	})
@@ -295,6 +297,7 @@ func (c *Coordinator) Spec() CampaignSpec { return c.spec }
 func (c *Coordinator) Status() StatusReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:allow wallclock lease TTL is wall-clock liveness (DESIGN.md §6), not campaign identity
 	c.table.sweep(time.Now())
 	counts, exps := c.table.counts()
 	st := StatusReply{
@@ -307,9 +310,16 @@ func (c *Coordinator) Status() StatusReply {
 	if c.failure != nil {
 		st.Failed = c.failure.Error()
 	}
-	snaps := make([]telemetry.Snapshot, 0, len(c.workers))
-	for _, s := range c.workers {
-		snaps = append(snaps, s)
+	// Merge in sorted worker order: float aggregation is not associative to
+	// the last bit, so map order would leak into the merged snapshot.
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	snaps := make([]telemetry.Snapshot, 0, len(ids))
+	for _, id := range ids {
+		snaps = append(snaps, c.workers[id])
 	}
 	st.Telemetry = telemetry.Merge("coordinator", snaps...)
 	return st
@@ -346,6 +356,7 @@ func (c *Coordinator) handleLease(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, LeaseReply{Done: true})
 		return
 	}
+	//lint:allow wallclock lease TTL is wall-clock liveness (DESIGN.md §6), not campaign identity
 	lease := c.table.acquire(req.Worker, time.Now())
 	if lease == nil {
 		writeJSON(rw, http.StatusOK, LeaseReply{RetryAfterMS: c.table.ttl.Milliseconds() / 4})
@@ -380,6 +391,7 @@ func (c *Coordinator) handleReport(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	prev := c.shardCheckpointLocked(req.Shard.Index)
+	//lint:allow wallclock lease TTL is wall-clock liveness (DESIGN.md §6), not campaign identity
 	ok := c.table.report(&req, time.Now())
 	if ok {
 		advanced := prev == nil || prev.Experiments != req.Shard.Experiments || prev.Cursor != req.Shard.Cursor

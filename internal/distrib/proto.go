@@ -72,6 +72,11 @@ func (s CampaignSpec) Normalize() CampaignSpec {
 	if s.Precision == "" {
 		s.Precision = numerics.FP16.String()
 	}
+	if s.ExperimentBatch == 0 {
+		// Resolve the engine default here so specs written before and after
+		// the CLIs started passing an explicit batch window compare equal.
+		s.ExperimentBatch = campaign.DefaultExperimentBatch
+	}
 	return s
 }
 

@@ -1,0 +1,64 @@
+package faultmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Every campaign result in this repo is a function of the draws below: the
+// sampler, the workload builders, the datasets, and the validation harness
+// all seed from NewStreamSource. These golden sequences pin the generator
+// bit-for-bit, so a Go toolchain bump, a refactor of stream.go, or an
+// accidental switch to another source cannot silently shift every
+// published number. The seed-0 sequence equals the SplitMix64 reference
+// vectors from Steele et al.'s published implementation — if this test
+// fails, the generator changed, and with it the identity of every
+// checkpoint and StudyResult ever written.
+func TestNewStreamSourceGoldenDraws(t *testing.T) {
+	golden := map[int64][8]uint64{
+		0: {0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f, 0xf88bb8a8724c81ec,
+			0x1b39896a51a8749b, 0x53cb9f0c747ea2ea, 0x2c829abe1f4532e1, 0xc584133ac916ab3c},
+		1: {0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e, 0x71c18690ee42c90b,
+			0x71bb54d8d101b5b9, 0xc34d0bff90150280, 0xe099ec6cd7363ca5, 0x85e7bb0f12278575},
+		42: {0xbdd732262feb6e95, 0x28efe333b266f103, 0x47526757130f9f52, 0x581ce1ff0e4ae394,
+			0x09bc585a244823f2, 0xde4431fa3c80db06, 0x37e9671c45376d5d, 0xccf635ee9e9e2fa4},
+		-7: {0x6c1e186443822970, 0x7a87f4dabcf192aa, 0xe8313fe1d7350611, 0x28ceb6e1eddad0c2,
+			0x90df7bd8aeb77931, 0xced1ff39db554c45, 0x8cf5d38fac285a78, 0x01b4b0d3e2abd63b},
+	}
+	for seed, want := range golden {
+		src := NewStreamSource(seed)
+		for i, w := range want {
+			if got := src.Uint64(); got != w {
+				t.Fatalf("seed %d draw %d: got %#x, want %#x", seed, i, got, w)
+			}
+		}
+	}
+}
+
+// The engine wraps streams in *rand.Rand, so the derived draws (Intn,
+// Float64, NormFloat64) depend on math/rand's derivation layer as well as
+// on the source. Pin those too: math/rand's algorithms are frozen by the
+// Go 1 compatibility promise, and this test turns that promise into a
+// checked invariant of the campaign identity.
+func TestStreamRandDerivedGoldenDraws(t *testing.T) {
+	rng := rand.New(NewStreamSource(42))
+	wantInts := []int{451, 953, 371, 935, 165, 597, 582, 863}
+	for i, w := range wantInts {
+		if got := rng.Intn(1000); got != w {
+			t.Fatalf("Intn draw %d: got %d, want %d", i, got, w)
+		}
+	}
+	wantFloats := []float64{0.33993103891702064, 0.6184820663561349, 0.20490183179877555, 0.4929891857946924}
+	for i, w := range wantFloats {
+		if got := rng.Float64(); got != w {
+			t.Fatalf("Float64 draw %d: got %v, want %v", i, got, w)
+		}
+	}
+	wantNorms := []float64{-0.6359704713073784, -0.6903276259932356, 0.6516915257958338, 0.37080548448197903}
+	for i, w := range wantNorms {
+		if got := rng.NormFloat64(); got != w || math.IsNaN(got) {
+			t.Fatalf("NormFloat64 draw %d: got %v, want %v", i, got, w)
+		}
+	}
+}

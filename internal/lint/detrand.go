@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// engineRandScope lists the packages whose randomness is part of campaign
+// identity: the campaign engine proper (campaign, inject, faultmodel,
+// distrib, nn) plus every package that generates seeded campaign inputs —
+// model weights, datasets, the naive baseline, tensor fills, reuse
+// sampling. A stray global-RNG call or ad-hoc source in any of them shifts
+// draws between runs or between Go releases, silently breaking shard
+// determinism (PR 1), checkpoint resume (PR 2), and batch target
+// prediction (PR 6).
+var engineRandScope = []string{
+	"internal/campaign",
+	"internal/inject",
+	"internal/faultmodel",
+	"internal/distrib",
+	"internal/nn",
+	"internal/model",
+	"internal/reuse",
+	"internal/dataset",
+	"internal/baseline",
+	"internal/tensor",
+}
+
+// randPkgs are the math/rand flavors detrand polices. v2 is included even
+// though the repo pins go1.22 semantics: the moment someone reaches for
+// rand/v2 in an engine package the same discipline applies.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors are package-level functions of math/rand that build
+// values from an explicit source or generator rather than touching the
+// global RNG. rand.New over a deterministic source is the sanctioned way to
+// wrap faultmodel.NewStreamSource; the source constructors themselves are
+// reported separately.
+var randConstructors = map[string]bool{
+	"New":     true,
+	"NewZipf": true,
+}
+
+// randSourceConstructors seed math/rand's own source types, bypassing the
+// engine's stream discipline (SplitMix64 streams derived from
+// (Seed, Shard, Cursor); see faultmodel.NewStreamSource).
+var randSourceConstructors = map[string]bool{
+	"NewSource": true,
+	// math/rand/v2 source constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// DetRand forbids the math/rand global RNG and ad-hoc source construction
+// in engine packages.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: `detrand: engine randomness must flow through faultmodel.NewStreamSource
+
+In engine packages (campaign, inject, faultmodel, distrib, nn, and the
+seeded input generators), all randomness derives from SplitMix64 streams
+seeded from (Seed, Shard, Cursor). Two constructions break that:
+
+  - math/rand top-level functions (rand.Intn, rand.Float64, rand.Shuffle,
+    ...) draw from the process-global RNG, whose state is shared across
+    goroutines and packages — results would depend on execution
+    interleaving and unrelated callers.
+  - rand.NewSource / rand/v2 source constructors build math/rand's own
+    generators, whose seeding semantics differ from the engine's pinned
+    SplitMix64 stream (and whose warm-up cost the engine deliberately
+    avoids; see faultmodel/stream.go).
+
+Passing an already-seeded *rand.Rand parameter and wrapping a stream with
+rand.New(faultmodel.NewStreamSource(seed)) are both fine.`,
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if !pathMatchesAny(pass.Pkg.Path(), engineRandScope) {
+		return
+	}
+	inFaultModel := pathMatches(pass.Pkg.Path(), "internal/faultmodel")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name := pkgFunc(pass.Info, call)
+			if !randPkgs[pkg] {
+				return true
+			}
+			switch {
+			case randSourceConstructors[name]:
+				if inFaultModel {
+					// faultmodel owns the stream discipline; constructing a
+					// source there is how NewStreamSource-style primitives
+					// get built in the first place.
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"ad-hoc rand.%s builds a non-stream source; seed engine randomness via faultmodel.NewStreamSource(seed) so draws stay pinned to (Seed, Shard, Cursor)", name)
+			case randConstructors[name]:
+				// rand.New / rand.NewZipf over an explicit source is the
+				// sanctioned wrapper; the source argument is vetted by the
+				// case above.
+			default:
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global math/rand RNG; engine randomness must come from a faultmodel.NewStreamSource-seeded generator", name)
+			}
+			return true
+		})
+	}
+}

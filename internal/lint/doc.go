@@ -1,0 +1,38 @@
+// Package lint implements fidelitylint: a suite of static analyzers that
+// enforce the engine's determinism and robustness invariants at compile
+// time, instead of waiting for a differential test to catch a violation
+// after it ships.
+//
+// Every correctness claim the reproduction makes — golden/faulty
+// equivalence, shard determinism (results depend only on Seed and shard
+// count, PR 1), byte-identical checkpoint resume (PR 2), replay
+// bit-exactness (PR 4), lease re-issue safety (PR 5), and site-grouped
+// batching (PR 6) — rests on a handful of code disciplines that are easy to
+// break silently: one stray math/rand global call, one unsorted map
+// iteration in a snapshot assembly path, one wall-clock read in a decision
+// path. The analyzers encode those disciplines:
+//
+//   - detrand: all engine randomness flows through
+//     faultmodel.NewStreamSource-seeded streams; the math/rand global RNG
+//     and ad-hoc rand.NewSource construction are forbidden in engine
+//     packages.
+//   - maporder: ranging over a map while feeding an order-sensitive sink
+//     (slice assembly, an encoder, a writer, a hash) requires a
+//     deterministic sort.
+//   - ctxflow: exported engine API accepts and forwards context.Context;
+//     library code never conjures context.Background().
+//   - wallclock: time.Now/Since/Until stay out of engine decision paths;
+//     telemetry owns the wall clock.
+//   - ioretry: checkpoint/manifest/result writes go through
+//     campaign.AtomicWriteJSON / campaign.RetryIO, never raw os.WriteFile.
+//
+// The suite runs as `go vet -vettool=$(fidelitylint binary)` (see
+// cmd/fidelitylint) and standalone. Findings that are intentional are
+// suppressed in place with an auditable comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory; malformed or unused suppressions are themselves diagnostics,
+// so the suppression inventory cannot rot.
+package lint

@@ -1,0 +1,208 @@
+package lint
+
+// The fixture harness mirrors x/tools' analysistest on the standard
+// library: fixture packages live under testdata/src/<importpath>, carry
+// `// want `+"`regexp`"+` comments on the lines where diagnostics are
+// expected, and are type-checked with fidelity/... imports resolved to
+// fixture doubles (testdata/src/fidelity/internal/faultmodel is a stub of
+// the real stream package) and everything else resolved by compiling the
+// standard library from GOROOT source — no network, no export data needed.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixtureLoader type-checks fixture packages, memoized so the expensive
+// source-importer work for stdlib dependencies happens once per run.
+type fixtureLoader struct {
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*fixturePkg
+}
+
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+var (
+	loaderOnce   sync.Once
+	sharedLoader *fixtureLoader
+)
+
+func loader() *fixtureLoader {
+	loaderOnce.Do(func() {
+		fset := token.NewFileSet()
+		sharedLoader = &fixtureLoader{
+			fset: fset,
+			std:  importer.ForCompiler(fset, "source", nil),
+			pkgs: map[string]*fixturePkg{},
+		}
+	})
+	return sharedLoader
+}
+
+// Import implements types.Importer: fixture packages shadow everything
+// else, so a fixture's `import "fidelity/internal/faultmodel"` resolves to
+// the stub under testdata.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(fixtureDir(path)); err == nil && st.IsDir() {
+		fp := l.load(path)
+		return fp.pkg, fp.err
+	}
+	return l.std.Import(path)
+}
+
+func fixtureDir(importPath string) string {
+	return filepath.Join("testdata", "src", filepath.FromSlash(importPath))
+}
+
+func (l *fixtureLoader) load(path string) *fixturePkg {
+	if fp, ok := l.pkgs[path]; ok {
+		return fp
+	}
+	fp := &fixturePkg{}
+	l.pkgs[path] = fp
+	entries, err := os.ReadDir(fixtureDir(path))
+	if err != nil {
+		fp.err = err
+		return fp
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(fixtureDir(path), e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			fp.err = err
+			return fp
+		}
+		fp.files = append(fp.files, f)
+	}
+	fp.info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	cfg := types.Config{Importer: l}
+	fp.pkg, fp.err = cfg.Check(path, l.fset, fp.files, fp.info)
+	return fp
+}
+
+// wantRe extracts want-expectations of the form `want ...` from fixture comments.
+var wantRe = regexp.MustCompile("want `([^`]+)`")
+
+type wantSpec struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*wantSpec {
+	t.Helper()
+	var out []*wantSpec
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := fset.Position(c.Pos())
+					out = append(out, &wantSpec{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture analyzes one fixture package and checks its diagnostics
+// against the want comments: every diagnostic must match a want on its
+// line, every want must be consumed.
+func runFixture(t *testing.T, importPath string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := loader()
+	fp := l.load(importPath)
+	if fp.err != nil {
+		t.Fatalf("fixture %s: %v", importPath, fp.err)
+	}
+	diags := Run(&Package{Fset: l.fset, Files: fp.files, Pkg: fp.pkg, Info: fp.info}, analyzers)
+	wants := collectWants(t, l.fset, fp.files)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == d.Position.Filename && w.line == d.Position.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetRand(t *testing.T) {
+	t.Run("positive", func(t *testing.T) { runFixture(t, "fidelity/internal/campaign/detrandpos", DetRand) })
+	t.Run("negative", func(t *testing.T) { runFixture(t, "fidelity/internal/campaign/detrandneg", DetRand) })
+	t.Run("out-of-scope", func(t *testing.T) { runFixture(t, "fidelity/internal/report/detrandoos", DetRand) })
+}
+
+func TestMapOrder(t *testing.T) {
+	t.Run("positive", func(t *testing.T) { runFixture(t, "fidelity/internal/mapfixpos", MapOrder) })
+	t.Run("negative", func(t *testing.T) { runFixture(t, "fidelity/internal/mapfixneg", MapOrder) })
+	t.Run("out-of-scope", func(t *testing.T) { runFixture(t, "fidelity/examples/mapfixoos", MapOrder) })
+}
+
+func TestCtxFlow(t *testing.T) {
+	t.Run("positive", func(t *testing.T) { runFixture(t, "fidelity/internal/campaign/ctxfixpos", CtxFlow) })
+	t.Run("negative", func(t *testing.T) { runFixture(t, "fidelity/internal/campaign/ctxfixneg", CtxFlow) })
+	t.Run("out-of-scope", func(t *testing.T) { runFixture(t, "fidelity/internal/report/ctxfixoos", CtxFlow) })
+}
+
+func TestWallClock(t *testing.T) {
+	t.Run("positive", func(t *testing.T) { runFixture(t, "fidelity/internal/wallfixpos", WallClock) })
+	t.Run("telemetry-exempt", func(t *testing.T) { runFixture(t, "fidelity/internal/telemetry/wallfixneg", WallClock) })
+	t.Run("cmd-exempt", func(t *testing.T) { runFixture(t, "fidelity/cmd/wallfixoos", WallClock) })
+}
+
+func TestIORetry(t *testing.T) {
+	t.Run("positive", func(t *testing.T) { runFixture(t, "fidelity/internal/campaign/iofixpos", IORetry) })
+	t.Run("negative", func(t *testing.T) { runFixture(t, "fidelity/internal/campaign/iofixneg", IORetry) })
+	t.Run("out-of-scope", func(t *testing.T) { runFixture(t, "fidelity/internal/reuse/iofixoos", IORetry) })
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	subset, err := ByName("detrand, wallclock")
+	if err != nil || len(subset) != 2 || subset[0] != DetRand || subset[1] != WallClock {
+		t.Fatalf("ByName subset = %v, err %v", subset, err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+}

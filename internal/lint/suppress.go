@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// It suppresses that analyzer's findings on the same line, or — for a
+// comment standing on its own line — on the next line. The reason is
+// mandatory: a suppression is a reviewed decision, and the comment is where
+// the review lives.
+const allowPrefix = "lint:allow"
+
+// allow is one parsed suppression comment.
+type allow struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+	// line is the source line the allow applies to (its own line for a
+	// trailing comment, the following line for a standalone one).
+	line int
+}
+
+// parseAllows extracts every suppression comment from the files. Malformed
+// suppressions (missing analyzer or reason, unknown analyzer name) are
+// reported immediately: a suppression that silently fails to parse would
+// otherwise look like a fixed finding.
+func parseAllows(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags *[]Diagnostic) []*allow {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	report := func(pos token.Pos, msg string) {
+		*diags = append(*diags, Diagnostic{
+			Analyzer: "suppression",
+			Position: fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	var allows []*allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					report(c.Pos(), "malformed suppression: want //lint:allow <analyzer> <reason>")
+					continue
+				}
+				if !known[fields[0]] {
+					report(c.Pos(), "suppression names unknown analyzer "+fields[0])
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "suppression for "+fields[0]+" lacks a reason; every allow must say why")
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				line := pos.Line
+				if onOwnLine(fset, f, c) {
+					line++
+				}
+				allows = append(allows, &allow{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+					pos:      pos,
+					line:     line,
+				})
+			}
+		}
+	}
+	return allows
+}
+
+// onOwnLine reports whether comment c is the first thing on its source line
+// (i.e. not trailing code).
+func onOwnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		// Any code token that starts before the comment on the same line
+		// makes it a trailing comment.
+		npos := fset.Position(n.Pos())
+		if npos.Line == cpos.Line && npos.Column < cpos.Column {
+			if _, isFile := n.(*ast.File); !isFile {
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// applySuppressions filters diags through the files' allow comments. A
+// matched allow consumes the diagnostics of its analyzer on its target
+// line; an allow that matches nothing — for an analyzer that actually ran —
+// is reported as unused, so stale suppressions surface instead of hiding
+// future regressions.
+func applySuppressions(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	allows := parseAllows(fset, files, analyzers, &out)
+	byKey := map[string][]*allow{}
+	for _, al := range allows {
+		// Allows are file-scoped: key by (file, line, analyzer).
+		key := al.pos.Filename + "\x00" + al.analyzer
+		byKey[key] = append(byKey[key], al)
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, al := range byKey[d.Position.Filename+"\x00"+d.Analyzer] {
+			if al.line == d.Position.Line {
+				al.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, al := range allows {
+		if !al.used && ran[al.analyzer] {
+			out = append(out, Diagnostic{
+				Analyzer: "suppression",
+				Position: al.pos,
+				Message:  "unused suppression for " + al.analyzer + ": nothing to allow on line " + strconv.Itoa(al.line),
+			})
+		}
+	}
+	return out
+}

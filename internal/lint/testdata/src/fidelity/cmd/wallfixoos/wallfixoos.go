@@ -1,0 +1,7 @@
+// Package wallfixoos is a cmd package: manifest timestamps and other
+// operator-facing wall-clock reads are out of wallclock's scope.
+package wallfixoos
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

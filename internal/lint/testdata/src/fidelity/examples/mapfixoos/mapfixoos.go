@@ -1,0 +1,10 @@
+// Package mapfixoos sits outside maporder's internal/+cmd/ scope.
+package mapfixoos
+
+import "fmt"
+
+func printUnsorted(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,23 @@
+// Package ctxfixneg holds the sanctioned context shapes ctxflow must stay
+// quiet on.
+package ctxfixneg
+
+import "context"
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+// Forward accepts and forwards the caller's context.
+func Forward(ctx context.Context) error { return doWork(ctx) }
+
+// Pure does no context-aware work; no ctx parameter required.
+func Pure(a, b int) int { return a + b }
+
+// Spawn returns a context-taking closure: the closure is its own
+// cancellation scope, the constructor needs no ctx.
+func Spawn() func(context.Context) error {
+	return func(ctx context.Context) error { return doWork(ctx) }
+}
+
+// orphanButUnexported is package-internal plumbing; rule 2 only polices the
+// exported surface.
+func orphanButUnexported() error { return doWork(nil) }

@@ -1,0 +1,21 @@
+// Package ctxfixpos holds ctxflow violations: rooted contexts in library
+// code and exported API that swallows the cancellation chain.
+package ctxfixpos
+
+import "context"
+
+func doWork(ctx context.Context) error { return ctx.Err() }
+
+// rooted is unexported so only rule 1 (no fresh roots) fires.
+func rooted() error {
+	return doWork(context.Background()) // want `context.Background roots a fresh context`
+}
+
+// todoRooted exercises the TODO variant.
+func todoRooted() error {
+	return doWork(context.TODO()) // want `context.TODO roots a fresh context`
+}
+
+func Orphan() error { // want `exported Orphan calls context-aware doWork but takes no context.Context`
+	return doWork(nil)
+}

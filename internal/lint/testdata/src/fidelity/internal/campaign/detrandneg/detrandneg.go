@@ -1,0 +1,21 @@
+// Package detrandneg holds the sanctioned randomness patterns detrand must
+// stay quiet on inside an engine package.
+package detrandneg
+
+import (
+	"math/rand"
+
+	"fidelity/internal/faultmodel"
+)
+
+// stream wraps the engine's deterministic stream: the sanctioned pattern.
+func stream(seed int64) *rand.Rand {
+	return rand.New(faultmodel.NewStreamSource(seed))
+}
+
+// use draws from a caller-provided generator; whoever seeded it owns the
+// determinism contract.
+func use(rng *rand.Rand) int { return rng.Intn(4) }
+
+// zipf builds a derived distribution over an explicit generator.
+func zipf(rng *rand.Rand) *rand.Zipf { return rand.NewZipf(rng, 1.1, 1, 100) }

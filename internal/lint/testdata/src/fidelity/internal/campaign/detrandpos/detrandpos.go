@@ -1,0 +1,25 @@
+// Package detrandpos holds detrand violations: global-RNG calls and ad-hoc
+// source construction inside an engine package.
+package detrandpos
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globals() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle draws from the process-global`
+	return rand.Intn(10)               // want `rand.Intn draws from the process-global`
+}
+
+func adHocSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `ad-hoc rand.NewSource builds a non-stream source`
+}
+
+func v2Global() int {
+	return randv2.IntN(5) // want `rand.IntN draws from the process-global`
+}
+
+func v2Source(seed uint64) *randv2.Rand {
+	return randv2.New(randv2.NewPCG(seed, 0)) // want `ad-hoc rand.NewPCG builds a non-stream source`
+}

@@ -1,0 +1,26 @@
+// Package iofixneg holds the sanctioned I/O shapes: the wrapper functions
+// themselves may touch os write primitives, and reads are always fine.
+package iofixneg
+
+import "os"
+
+// AtomicWriteJSON stands in for the real wrapper: raw os calls are its job.
+func AtomicWriteJSON(path string, blob []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RetryIO likewise owns its primitives.
+func RetryIO(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// load only reads; ioretry polices writes.
+func load(path string) ([]byte, error) { return os.ReadFile(path) }

@@ -1,0 +1,17 @@
+// Package iofixpos holds ioretry violations: raw os write primitives in a
+// persistence package.
+package iofixpos
+
+import "os"
+
+func saveManifest(path string, blob []byte) error {
+	return os.WriteFile(path, blob, 0o644) // want `os.WriteFile bypasses the atomic`
+}
+
+func createResults(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create bypasses the atomic`
+}
+
+func appendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644) // want `os.OpenFile bypasses the atomic`
+}

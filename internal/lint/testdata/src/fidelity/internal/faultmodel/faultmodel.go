@@ -1,0 +1,20 @@
+// Package faultmodel is a fixture double of the engine's stream package:
+// just enough surface for fixtures to demonstrate the sanctioned
+// rand.New(faultmodel.NewStreamSource(seed)) pattern.
+package faultmodel
+
+import "math/rand"
+
+type splitMix struct{ state uint64 }
+
+func (s *splitMix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	return s.state
+}
+
+func (s *splitMix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitMix) Seed(int64) {}
+
+// NewStreamSource mirrors the real package's signature.
+func NewStreamSource(seed int64) rand.Source64 { return &splitMix{state: uint64(seed)} }

@@ -1,0 +1,56 @@
+// Package mapfixneg holds the sanctioned map-iteration shapes maporder must
+// stay quiet on.
+package mapfixneg
+
+import "sort"
+
+// collectThenSort is the canonical escape: the appended slice is sorted
+// before it can become output.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// innerSlice appends to a slice scoped to one iteration; map order cannot
+// leak through it.
+func innerSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// mapWrite builds another map: key-addressed, order-insensitive.
+func mapWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// aggregate folds commutatively over integers.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortSlice uses sort.Slice on a struct slice, the other common escape.
+func sortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}

@@ -1,0 +1,42 @@
+// Package mapfixpos holds maporder violations: map ranges feeding
+// order-sensitive sinks with no deterministic sort.
+package mapfixpos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash"
+)
+
+func appendUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `appends to keys without a deterministic sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func writeUnsorted(m map[string]int, buf *bytes.Buffer) {
+	for k := range m { // want `order-sensitive sink`
+		buf.WriteString(k)
+	}
+}
+
+func hashUnsorted(m map[string][]byte, h hash.Hash) {
+	for _, v := range m { // want `order-sensitive sink`
+		h.Write(v)
+	}
+}
+
+func encodeUnsorted(m map[string]int, enc *json.Encoder) {
+	for _, v := range m { // want `order-sensitive sink`
+		enc.Encode(v)
+	}
+}
+
+func printUnsorted(m map[string]int) {
+	for k := range m { // want `order-sensitive sink`
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,6 @@
+// Package ctxfixoos sits outside ctxflow's engine scope.
+package ctxfixoos
+
+import "context"
+
+func rooted() context.Context { return context.Background() }

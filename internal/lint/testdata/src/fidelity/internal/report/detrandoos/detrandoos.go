@@ -1,0 +1,7 @@
+// Package detrandoos sits outside detrand's engine scope: global RNG use
+// here is out of the analyzer's jurisdiction.
+package detrandoos
+
+import "math/rand"
+
+func anything() int { return rand.Int() }

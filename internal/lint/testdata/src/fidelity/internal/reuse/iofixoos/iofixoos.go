@@ -1,0 +1,6 @@
+// Package iofixoos sits outside ioretry's persistence scope.
+package iofixoos
+
+import "os"
+
+func dump(path string, blob []byte) error { return os.WriteFile(path, blob, 0o644) }

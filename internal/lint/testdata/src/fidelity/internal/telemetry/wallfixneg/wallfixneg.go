@@ -1,0 +1,7 @@
+// Package wallfixneg sits under internal/telemetry, the package family that
+// owns the wall clock; wallclock must stay quiet here.
+package wallfixneg
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

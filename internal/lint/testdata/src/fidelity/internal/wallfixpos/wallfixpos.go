@@ -1,0 +1,27 @@
+// Package wallfixpos holds wallclock violations plus one audited
+// suppression.
+package wallfixpos
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time.Since reads the wall clock`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until reads the wall clock`
+}
+
+// pace sleeps without reading the clock: pacing is not flagged.
+func pace() { time.Sleep(time.Millisecond) }
+
+// audited demonstrates the suppression contract: the allow on the line
+// above consumes the finding.
+func audited() time.Time {
+	//lint:allow wallclock fixture demonstrates an audited liveness read
+	return time.Now()
+}

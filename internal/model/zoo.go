@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"fidelity/internal/dataset"
+	"fidelity/internal/faultmodel"
 	"fidelity/internal/nn"
 	"fidelity/internal/numerics"
 )
@@ -69,7 +70,7 @@ func Build(name string, prec numerics.Precision, seed int64) (*Workload, error) 
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(faultmodel.NewStreamSource(seed))
 	switch name {
 	case "inception":
 		return inceptionLite(codec, rng), nil

@@ -139,6 +139,10 @@ func (a *Arena) release(t *tensor.Tensor) {
 // experiment boundary, when no tensor from the previous experiment is
 // referenced anymore.
 func (a *Arena) Reset() {
+	// The free list hands out interchangeable buffers that every consumer
+	// fully overwrites before reading, so reclaim order never reaches
+	// results — and lent is keyed by pointer, so there is no stable sort key.
+	//lint:allow maporder free-list reclaim order is unobservable: buffers are fully overwritten before any read
 	for t, buf := range a.lent {
 		a.free[len(buf)] = append(a.free[len(buf)], buf)
 		delete(a.lent, t)
