@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Coordinator address used by the `work` convenience target.
 COORDINATOR ?= http://127.0.0.1:9090
 
-.PHONY: build test race chaos bench bench-json fmt vet fidelitylint lint verify serve work e2e-distrib ci
+.PHONY: build test race chaos chaos-distrib bench bench-json fmt vet fidelitylint lint verify serve work e2e-distrib ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,16 @@ race:
 # resume paths are exactly where flakes would hide.
 chaos:
 	$(GO) test -race -timeout 30m -run 'Chaos' -count=2 ./internal/campaign/...
+
+# The distribution-layer chaos + integrity suite (DESIGN.md §9): the seeded
+# transport-chaos differential (drops, delays, duplicates, truncation, bit
+# corruption, 5xx bursts at 1/2/4 workers must stay byte-identical to a
+# clean run), result audits catching a lying worker, graceful drain,
+# corrupted/legacy state recovery, and the lease-table dedup/stale/audit
+# unit tests. Run twice under -race — retry and re-issue paths are exactly
+# where flakes would hide.
+chaos-distrib:
+	$(GO) test -race -timeout 30m -count=2 -run 'TestChaos|TestDistribAudit|TestDistribDrain|TestCoordinatorState|TestLeaseTable' ./internal/distrib/
 
 # One iteration of every benchmark — smoke, not measurement.
 bench:
@@ -114,4 +124,4 @@ e2e-distrib:
 # build, test. Everything here runs offline.
 verify: fmt vet fidelitylint build test
 
-ci: fmt vet fidelitylint build test race chaos bench
+ci: fmt vet fidelitylint build test race chaos chaos-distrib bench

@@ -74,8 +74,9 @@ func main() {
 }
 
 // errPartial marks a campaign that completed degraded: every shard is
-// terminal but at least one exhausted its failure budget.
-var errPartial = errors.New("partial result (a shard exhausted its failure budget)")
+// terminal but at least one exhausted its failure budget or failed its
+// audit re-run.
+var errPartial = errors.New("partial result (a shard exhausted its failure budget or failed its audit)")
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fidelityd <serve|work> [flags]
@@ -110,6 +111,8 @@ func serve(ctx context.Context, args []string) error {
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline on workers (0 = off)")
 	failBudget := fs.Int("failure-budget", 0, "max quarantined experiments per shard before it degrades (0 = default)")
 	leaseTTL := fs.Duration("lease-ttl", distrib.DefaultLeaseTTL, "per-lease heartbeat budget; lapsed leases are re-issued")
+	auditFraction := fs.Float64("audit-fraction", 0, "fraction of completed shards re-run on a second worker and byte-compared (0 = off, 1 = all; mismatch flags the campaign partial)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, refuse new leases and wait up to this long for in-flight reports before persisting and exiting (0 = exit immediately)")
 	state := fs.String("state", "", "persist lease table + checkpoints here; restart resumes the campaign (empty = in-memory)")
 	result := fs.String("result", "", "write the final StudyResult JSON here (empty = stdout)")
 	progress := fs.Duration("progress", 0, "emit merged JSONL telemetry snapshots to stderr at this interval (0 = off)")
@@ -130,6 +133,12 @@ func serve(ctx context.Context, args []string) error {
 	if *batch <= 0 {
 		usageError(fs, "-batch must be positive (got %d; 1 disables batching)", *batch)
 	}
+	if *auditFraction < 0 || *auditFraction > 1 {
+		usageError(fs, "-audit-fraction must be in [0,1] (got %g)", *auditFraction)
+	}
+	if *drainTimeout < 0 {
+		usageError(fs, "-drain-timeout must be non-negative (got %v)", *drainTimeout)
+	}
 
 	tel := telemetry.New()
 	tel.SetSource("coordinator")
@@ -149,10 +158,11 @@ func serve(ctx context.Context, args []string) error {
 		FailureBudget:     *failBudget,
 	}
 	c, err := distrib.NewCoordinator(distrib.CoordinatorOptions{
-		Spec:      spec,
-		LeaseTTL:  *leaseTTL,
-		StatePath: *state,
-		Telemetry: tel,
+		Spec:          spec,
+		LeaseTTL:      *leaseTTL,
+		StatePath:     *state,
+		AuditFraction: *auditFraction,
+		Telemetry:     tel,
 	})
 	if err != nil {
 		return err
@@ -162,7 +172,15 @@ func serve(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: c.Handler()}
+	// Bounded timeouts so one stalled client cannot wedge the coordinator;
+	// request bodies are capped by the handler's integrity layer.
+	srv := &http.Server{
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	defer func() {
@@ -176,6 +194,19 @@ func serve(ctx context.Context, args []string) error {
 	stopProgress := emitProgress(*progress, func() telemetry.Snapshot { return c.Status().Telemetry })
 	start := time.Now()
 	res, resErr := c.Result(ctx)
+	if resErr != nil && ctx.Err() != nil {
+		// Graceful drain: stop handing out leases, give in-flight reports a
+		// bounded window to land, then persist whatever was accepted. Workers
+		// polling during the drain are told Draining and keep polling, so a
+		// restarted coordinator picks them straight back up.
+		c.StartDrain()
+		fmt.Fprintf(os.Stderr, "fidelityd: draining: refusing new leases, waiting up to %v for in-flight reports\n", *drainTimeout)
+		waitDrain(c, *drainTimeout)
+		if r, done, ferr := c.Finished(); done && ferr == nil {
+			// The last reports landed during the drain: finish normally.
+			res, resErr = r, nil
+		}
+	}
 	stopProgress()
 	writeManifest(*manifest, "serve", start, c.Status(), res)
 	if resErr != nil {
@@ -187,6 +218,9 @@ func serve(ctx context.Context, args []string) error {
 		default:
 		}
 		if ctx.Err() != nil && *state != "" {
+			if perr := c.PersistNow(); perr != nil {
+				fmt.Fprintln(os.Stderr, "fidelityd:", perr)
+			}
 			fmt.Fprintf(os.Stderr, "fidelityd: state saved to %s; restart with the same -state to resume\n", *state)
 		}
 		return resErr
@@ -207,6 +241,40 @@ func serve(ctx context.Context, args []string) error {
 		}
 	}
 	return nil
+}
+
+// waitDrain blocks until the coordinator has no live leases (every in-flight
+// shard reported or lapsed), the campaign finishes, the timeout lapses, or a
+// second interrupt demands an immediate exit.
+func waitDrain(c *distrib.Coordinator, timeout time.Duration) {
+	if timeout <= 0 {
+		return
+	}
+	// signal.NotifyContext consumed the first signal; register a fresh
+	// channel so a second one can cut the drain short.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	deadline := time.After(timeout)
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if c.Idle() {
+			return
+		}
+		if _, done, _ := c.Finished(); done {
+			return
+		}
+		select {
+		case <-tick.C:
+		case <-deadline:
+			fmt.Fprintln(os.Stderr, "fidelityd: drain timeout; exiting with leases still in flight")
+			return
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "fidelityd: second interrupt; skipping drain")
+			return
+		}
+	}
 }
 
 // emitResult writes the StudyResult durably to path, or to stdout when

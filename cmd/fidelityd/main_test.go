@@ -53,3 +53,22 @@ func TestServeLeaseTTLStillValidated(t *testing.T) {
 		t.Fatalf("serve -lease-ttl -1s: exit %d, output:\n%s", code, out)
 	}
 }
+
+func TestServeAuditFractionValidated(t *testing.T) {
+	for _, bad := range []string{"-0.1", "1.5"} {
+		out, code := runCLI(t, "serve", "-audit-fraction", bad)
+		if code != 2 {
+			t.Errorf("serve -audit-fraction %s: exit %d, want usage exit 2\n%s", bad, code, out)
+		}
+		if !strings.Contains(out, "-audit-fraction must be in [0,1]") {
+			t.Errorf("serve -audit-fraction %s: missing validation message:\n%s", bad, out)
+		}
+	}
+}
+
+func TestServeDrainTimeoutValidated(t *testing.T) {
+	out, code := runCLI(t, "serve", "-drain-timeout", "-5s")
+	if code != 2 || !strings.Contains(out, "-drain-timeout must be non-negative") {
+		t.Fatalf("serve -drain-timeout -5s: exit %d, output:\n%s", code, out)
+	}
+}

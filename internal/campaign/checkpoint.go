@@ -1,7 +1,11 @@
 package campaign
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -173,9 +177,117 @@ func NewCheckpoint(cfg *accel.Config, w *model.Workload, opts StudyOptions, shar
 // Save writes the checkpoint as JSON, atomically and durably: temp file +
 // fsync + rename + directory fsync, so a crash at any point leaves either
 // the old checkpoint or the complete new one — never a truncated or lost
-// file.
+// file. The checkpoint is wrapped in the content-checksum envelope
+// (AtomicWriteSealedJSON), so bit rot or a torn file is detected at load
+// instead of silently resuming a corrupted campaign.
 func (c *Checkpoint) Save(path string) error {
-	return AtomicWriteJSON(path, c)
+	return AtomicWriteSealedJSON(path, c)
+}
+
+// sealVersion tags the integrity envelope persisted artifacts are wrapped
+// in. Version 1: hex SHA-256 over the payload's compact JSON encoding.
+const sealVersion = 1
+
+// ErrCorruptArtifact marks a persisted artifact whose content checksum did
+// not verify: the file was torn, bit-flipped, or hand-edited since it was
+// sealed. Callers distinguish it from ordinary parse or identity errors
+// with errors.Is, because the right reaction differs — corrupted resumable
+// state is quarantined and re-derived (the engine's determinism makes
+// re-execution safe), never loaded.
+var ErrCorruptArtifact = errors.New("campaign: artifact failed integrity check")
+
+// sealedEnvelope is the on-disk integrity wrapper: a version tag, the
+// checksum algorithm, the hex digest of the payload's compact encoding, and
+// the payload itself. Files written before the envelope existed are plain
+// payloads with no "sealed" key; they load unverified (legacy path).
+type sealedEnvelope struct {
+	Sealed  int             `json:"sealed"`
+	Algo    string          `json:"algo"`
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// SumJSON returns the hex SHA-256 of v's compact canonical JSON encoding —
+// the content identity the integrity envelope and the distributed audit
+// pass both compare. encoding/json sorts map keys, so the digest is a pure
+// function of the value, not of map iteration or source formatting.
+func SumJSON(v any) (string, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("campaign: sum: %w", err)
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// sumRaw digests an already-encoded payload, compacting first so the digest
+// matches SumJSON regardless of the indentation the envelope was stored with.
+func sumRaw(raw json.RawMessage) (string, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// AtomicWriteSealedJSON writes v through AtomicWriteJSON wrapped in the
+// content-checksum envelope. Readers go through OpenSealedJSON (or
+// LoadCheckpoint), which verifies the digest before trusting a byte of the
+// payload.
+func AtomicWriteSealedJSON(path string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: encode %s: %w", filepath.Base(path), err)
+	}
+	sum := sha256.Sum256(payload)
+	return AtomicWriteJSON(path, &sealedEnvelope{
+		Sealed:  sealVersion,
+		Algo:    "sha256",
+		Sum:     hex.EncodeToString(sum[:]),
+		Payload: payload,
+	})
+}
+
+// OpenSealedJSON parses blob — a sealed envelope or a legacy unchecksummed
+// artifact — verifies the checksum when one is present, and unmarshals the
+// payload into v. A digest mismatch returns an error satisfying
+// errors.Is(err, ErrCorruptArtifact); legacy files (no "sealed" key) load
+// without verification so state written before the envelope existed keeps
+// working.
+func OpenSealedJSON(blob []byte, v any) error {
+	var env sealedEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil || env.Sealed == 0 {
+		// Legacy unchecksummed artifact (or not an envelope at all): the
+		// whole blob is the payload.
+		return json.Unmarshal(blob, v)
+	}
+	if env.Sealed != sealVersion {
+		return fmt.Errorf("campaign: artifact sealed with envelope version %d, want %d", env.Sealed, sealVersion)
+	}
+	if env.Algo != "sha256" {
+		return fmt.Errorf("campaign: artifact sealed with unknown algorithm %q", env.Algo)
+	}
+	sum, err := sumRaw(env.Payload)
+	if err != nil {
+		return fmt.Errorf("%w: payload is not valid JSON: %v", ErrCorruptArtifact, err)
+	}
+	if sum != env.Sum {
+		return fmt.Errorf("%w: payload sha256 %s, envelope says %s", ErrCorruptArtifact, sum, env.Sum)
+	}
+	return json.Unmarshal(env.Payload, v)
+}
+
+// ReadSealedJSON reads path and opens it through OpenSealedJSON.
+func ReadSealedJSON(path string, v any) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("campaign: read %s: %w", filepath.Base(path), err)
+	}
+	if err := OpenSealedJSON(blob, v); err != nil {
+		return fmt.Errorf("campaign: parse %s: %w", path, err)
+	}
+	return nil
 }
 
 // AtomicWriteJSON is the checkpoint machinery's durable-write primitive,
@@ -228,14 +340,17 @@ func AtomicWriteJSON(path string, v any) error {
 	return nil
 }
 
-// LoadCheckpoint reads a checkpoint file written by Save.
+// LoadCheckpoint reads a checkpoint file written by Save, verifying the
+// content-checksum envelope when present (errors.Is ErrCorruptArtifact on a
+// mismatch). Checkpoints written before the envelope existed load
+// unverified.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: read checkpoint: %w", err)
 	}
 	var c Checkpoint
-	if err := json.Unmarshal(blob, &c); err != nil {
+	if err := OpenSealedJSON(blob, &c); err != nil {
 		return nil, fmt.Errorf("campaign: parse checkpoint %s: %w", path, err)
 	}
 	if c.Version != checkpointVersion {

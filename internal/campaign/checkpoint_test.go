@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -134,5 +135,111 @@ func TestLoadCheckpointCorrupt(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "parse checkpoint") {
 		t.Errorf("corrupt-file error %q does not say it failed to parse", err)
+	}
+}
+
+// TestSealedJSONRoundTrip: the content-checksum envelope must round-trip a
+// value exactly and be transparent to the reader.
+func TestSealedJSONRoundTrip(t *testing.T) {
+	_, _, _, cp := checkpointFixture(t)
+	path := filepath.Join(t.TempDir(), "sealed.json")
+	if err := AtomicWriteSealedJSON(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"sealed"`) {
+		t.Error("sealed file carries no envelope")
+	}
+	var back Checkpoint
+	if err := ReadSealedJSON(path, &back); err != nil {
+		t.Fatal(err)
+	}
+	wantSum, err := SumJSON(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSum, err := SumJSON(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum != wantSum {
+		t.Error("sealed round-trip changed the payload")
+	}
+}
+
+// TestSealedJSONDetectsTamper: any byte flipped inside the payload must fail
+// the checksum with ErrCorruptArtifact — the detection the whole integrity
+// model hangs on.
+func TestSealedJSONDetectsTamper(t *testing.T) {
+	_, _, _, cp := checkpointFixture(t)
+	path := filepath.Join(t.TempDir(), "sealed.json")
+	if err := AtomicWriteSealedJSON(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate payload content while keeping the JSON well-formed.
+	mutated := strings.Replace(string(blob), `"shard"`, `"sHard"`, 1)
+	if mutated == string(blob) {
+		t.Fatal("tamper mutation found nothing to replace")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	err = ReadSealedJSON(path, &back)
+	if !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("tampered payload read error = %v, want ErrCorruptArtifact", err)
+	}
+}
+
+// TestSealedJSONLegacyFallback: files written before the envelope existed —
+// plain JSON, no "sealed" key — must still load (unverified), so old
+// checkpoints and coordinator state stay usable.
+func TestSealedJSONLegacyFallback(t *testing.T) {
+	_, _, _, cp := checkpointFixture(t)
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := AtomicWriteJSON(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := ReadSealedJSON(path, &back); err != nil {
+		t.Fatalf("legacy plain-JSON file rejected: %v", err)
+	}
+	if back.Version != cp.Version || len(back.Shard) != len(cp.Shard) {
+		t.Errorf("legacy load mangled the checkpoint: %+v", back)
+	}
+}
+
+// TestCheckpointSaveSealedLoad: Checkpoint.Save now seals, and LoadCheckpoint
+// verifies — a flipped byte in a saved campaign checkpoint is detected
+// instead of resumed.
+func TestCheckpointSaveSealedLoad(t *testing.T) {
+	_, _, _, cp := checkpointFixture(t)
+	path := filepath.Join(t.TempDir(), "campaign.checkpoint.json")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("sealed checkpoint failed to load: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(blob), `"config"`, `"cOnfig"`, 1)
+	if mutated == string(blob) {
+		t.Fatal("tamper mutation found nothing to replace")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCorruptArtifact) {
+		t.Fatalf("tampered checkpoint load error = %v, want ErrCorruptArtifact", err)
 	}
 }

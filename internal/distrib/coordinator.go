@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"fidelity/internal/accel"
 	"fidelity/internal/campaign"
+	"fidelity/internal/faultmodel"
 	"fidelity/internal/model"
 	"fidelity/internal/telemetry"
 )
@@ -22,7 +24,10 @@ import (
 // two consecutive lost reports before a shard is re-issued.
 const DefaultLeaseTTL = 30 * time.Second
 
-// stateVersion guards the coordinator's persisted state format.
+// stateVersion guards the coordinator's persisted state format. The
+// integrity additions (per-shard digests, audit records, checksum envelope)
+// are strictly additive and the envelope is self-describing, so version 1
+// still covers both pre- and post-integrity files.
 const stateVersion = 1
 
 // CoordinatorOptions configures NewCoordinator.
@@ -35,10 +40,20 @@ type CoordinatorOptions struct {
 	LeaseTTL time.Duration
 	// StatePath, when non-empty, is where the coordinator durably persists
 	// its lease table and collected checkpoints (via the campaign engine's
-	// atomic-write machinery). A coordinator restarted on the same path
-	// resumes the campaign: collected shards are not re-run, live leases
-	// stay valid, and the final result is identical.
+	// atomic-write machinery, wrapped in a content-checksum envelope). A
+	// coordinator restarted on the same path resumes the campaign: collected
+	// shards are not re-run, live leases stay valid, and the final result is
+	// identical. A state file that fails its integrity check is quarantined
+	// (renamed aside) and the campaign restarts from scratch rather than
+	// resuming from corrupt data.
 	StatePath string
+	// AuditFraction, in [0,1], selects a deterministic sample of completed
+	// shards for verification re-runs: each sampled shard is re-leased from
+	// scratch to a second worker and the two checkpoints' canonical digests
+	// compared. Shard determinism makes any mismatch proof of a faulty
+	// worker or transport; the campaign is then flagged Partial. 0 disables
+	// auditing, 1 re-verifies every shard.
+	AuditFraction float64
 	// Telemetry, when non-nil, receives the coordinator's own phase
 	// tracking; worker snapshots are merged into it for Status.
 	Telemetry *telemetry.Collector
@@ -46,7 +61,10 @@ type CoordinatorOptions struct {
 
 // coordinatorState is the durable form of a coordinator. The shard tallies
 // ride inside a standard campaign checkpoint, so the file doubles as a valid
-// campaign.Checkpoint for offline inspection.
+// campaign.Checkpoint for offline inspection. On disk the whole struct is
+// wrapped in campaign's content-checksum envelope; Meta additionally pins
+// each completed shard's digest as recorded at acceptance time, so
+// corruption anywhere between acceptance and reload is detected.
 type coordinatorState struct {
 	Version int          `json:"version"`
 	Spec    CampaignSpec `json:"spec"`
@@ -58,8 +76,13 @@ type coordinatorState struct {
 	Reported []int `json:"reported,omitempty"`
 	// Degraded lists shards whose final report was Exhausted.
 	Degraded []int `json:"degraded,omitempty"`
-	// Leases are the live leases at persist time. They survive a restart so
-	// in-flight workers keep streaming without interruption.
+	// Meta carries per-shard integrity and audit records for completed
+	// shards. Absent in legacy files.
+	Meta []persistedShardMeta `json:"meta,omitempty"`
+	// Leases are the live primary leases at persist time. They survive a
+	// restart so in-flight workers keep streaming without interruption.
+	// Audit leases are deliberately not persisted: a restart reverts them to
+	// audit-pending and the re-run is simply re-issued.
 	Leases []persistedLease `json:"leases,omitempty"`
 	// Seq is the lease ID counter; Expired the lapsed-lease count.
 	Seq     int `json:"seq"`
@@ -73,17 +96,59 @@ type persistedLease struct {
 	Deadline time.Time `json:"deadline"`
 }
 
+// persistedShardMeta is one completed shard's integrity record: the digest
+// of its accepted checkpoint, who produced it, and the audit outcome.
+type persistedShardMeta struct {
+	Shard  int    `json:"shard"`
+	Sum    string `json:"sum,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	// Audit is "", "pending", "passed" or "failed". A live audit lease
+	// persists as "pending" — the re-run restarts after a coordinator
+	// restart.
+	Audit       string `json:"audit,omitempty"`
+	AuditWorker string `json:"audit_worker,omitempty"`
+	AuditSum    string `json:"audit_sum,omitempty"`
+}
+
+// auditSeed derives the audit-sampling stream seed for one shard from the
+// campaign seed (splitmix64-style mixing, the engine's experimentSeed
+// pattern). Sampling depends only on (Seed, shard) — never on timing or
+// worker identity — so every coordinator restart draws the same sample.
+func auditSeed(seed int64, shard int) int64 {
+	z := uint64(seed) ^ 0xa0d17a5eed1e57a7
+	z += uint64(shard) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// auditSelected reports whether shard falls in the deterministic audit
+// sample of size frac.
+func auditSelected(seed int64, frac float64, shard int) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	r := rand.New(faultmodel.NewStreamSource(auditSeed(seed, shard)))
+	return r.Float64() < frac
+}
+
 // Coordinator owns one campaign: it partitions the study into the engine's
 // logical shards, leases them to workers, collects streamed checkpoints,
-// re-issues shards whose leases lapse, and assembles the final StudyResult
-// from the terminal checkpoints — the exact assembly an in-process Study
-// performs, so the result is byte-identical.
+// re-issues shards whose leases lapse, audits a sample of completed shards
+// against independent re-runs, and assembles the final StudyResult from the
+// terminal checkpoints — the exact assembly an in-process Study performs, so
+// the result is byte-identical.
 type Coordinator struct {
 	spec      CampaignSpec
 	cfg       *accel.Config
 	w         *model.Workload
 	opts      campaign.StudyOptions
 	statePath string
+	audit     float64
 	tel       *telemetry.Collector
 
 	mu       sync.Mutex
@@ -91,6 +156,7 @@ type Coordinator struct {
 	workers  map[string]telemetry.Snapshot
 	result   *campaign.StudyResult
 	failure  error
+	draining bool
 	done     chan struct{}
 	doneOnce sync.Once
 }
@@ -98,11 +164,17 @@ type Coordinator struct {
 // NewCoordinator builds a coordinator for o.Spec. If o.StatePath names an
 // existing state file, the campaign resumes from it; the file must describe
 // the same spec and accelerator config, otherwise NewCoordinator refuses
-// rather than silently mixing two campaigns' shards.
+// rather than silently mixing two campaigns' shards. A state file that fails
+// its integrity check (torn write, bit rot) is quarantined to
+// StatePath+".corrupt" and the campaign restarts clean — detected loudly,
+// never resumed silently wrong.
 func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 	spec := o.Spec.Normalize()
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if o.AuditFraction < 0 || o.AuditFraction > 1 {
+		return nil, fmt.Errorf("distrib: audit fraction must be in [0,1] (got %g)", o.AuditFraction)
 	}
 	cfg := o.Config
 	if cfg == nil {
@@ -122,16 +194,31 @@ func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 		w:         w,
 		opts:      spec.Options(),
 		statePath: o.StatePath,
+		audit:     o.AuditFraction,
 		tel:       o.Telemetry,
-		table:     newLeaseTable(spec.Shards, ttl),
+		table:     nil,
 		workers:   map[string]telemetry.Snapshot{},
 		done:      make(chan struct{}),
 	}
+	c.table = c.newTable(ttl)
 	c.opts.Telemetry = o.Telemetry
 	if c.statePath != "" {
 		if _, err := os.Stat(c.statePath); err == nil {
 			if err := c.load(); err != nil {
-				return nil, err
+				if !errors.Is(err, campaign.ErrCorruptArtifact) {
+					return nil, err
+				}
+				// Quarantine the corrupt file where an operator can inspect
+				// it, count the detection, and restart the campaign clean.
+				// Shard determinism makes the re-run byte-identical, so the
+				// only cost is the lost progress.
+				if c.tel != nil {
+					c.tel.RecordCorruptArtifact()
+				}
+				if rerr := os.Rename(c.statePath, c.statePath+".corrupt"); rerr != nil {
+					return nil, fmt.Errorf("distrib: quarantine corrupt state: %v (detected: %w)", rerr, err)
+				}
+				c.table = c.newTable(ttl)
 			}
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, fmt.Errorf("distrib: state %s: %w", c.statePath, err)
@@ -148,15 +235,35 @@ func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 	return c, nil
 }
 
-// load restores the lease table from the persisted state file.
+// newTable builds a fresh lease table wired to the audit sampler.
+func (c *Coordinator) newTable(ttl time.Duration) *leaseTable {
+	t := newLeaseTable(c.spec.Shards, ttl)
+	if c.audit > 0 {
+		seed, frac := c.spec.Seed, c.audit
+		t.auditFor = func(shard int) bool { return auditSelected(seed, frac, shard) }
+	}
+	return t
+}
+
+// load restores the lease table from the persisted state file. Corruption —
+// a failed envelope checksum, an unparseable file, or a shard checkpoint
+// that no longer matches the digest recorded when it was accepted — returns
+// or absorbs campaign.ErrCorruptArtifact semantics: whole-file damage
+// errors out (the caller quarantines), per-shard damage drops just that
+// shard back to pending for re-issue.
 func (c *Coordinator) load() error {
 	blob, err := os.ReadFile(c.statePath)
 	if err != nil {
 		return fmt.Errorf("distrib: read state: %w", err)
 	}
 	var st coordinatorState
-	if err := json.Unmarshal(blob, &st); err != nil {
-		return fmt.Errorf("distrib: parse state %s: %w", c.statePath, err)
+	if err := campaign.OpenSealedJSON(blob, &st); err != nil {
+		if errors.Is(err, campaign.ErrCorruptArtifact) {
+			return fmt.Errorf("distrib: state %s: %w", c.statePath, err)
+		}
+		// An unparseable file is the same corruption class as a failed
+		// checksum: a torn or garbled write.
+		return fmt.Errorf("distrib: state %s: %w: %v", c.statePath, campaign.ErrCorruptArtifact, err)
 	}
 	if st.Version != stateVersion {
 		return fmt.Errorf("distrib: state %s has version %d, want %d", c.statePath, st.Version, stateVersion)
@@ -192,6 +299,51 @@ func (c *Coordinator) load() error {
 			e.status = shardPending
 		}
 	}
+	meta := map[int]persistedShardMeta{}
+	for _, m := range st.Meta {
+		meta[m.Shard] = m
+	}
+	for i := range c.table.shards {
+		e := &c.table.shards[i]
+		if e.status != shardDone || e.ckpt == nil {
+			continue
+		}
+		sum, err := digestJSON(e.ckpt)
+		if err != nil {
+			continue
+		}
+		m, ok := meta[i]
+		if ok && m.Sum != "" && m.Sum != sum {
+			// The stored checkpoint no longer matches the digest recorded at
+			// acceptance: the shard's data was corrupted somewhere between
+			// acceptance and this reload. Drop it and re-issue the shard —
+			// determinism makes the re-run equivalent.
+			if c.tel != nil {
+				c.tel.RecordCorruptArtifact()
+			}
+			*e = shardEntry{status: shardPending}
+			continue
+		}
+		e.sum = sum
+		e.worker = m.Worker
+		switch m.Audit {
+		case "passed":
+			e.audit = auditPassed
+			e.auditWorker, e.auditSum = m.AuditWorker, m.AuditSum
+		case "failed":
+			e.audit = auditFailed
+			e.auditWorker, e.auditSum = m.AuditWorker, m.AuditSum
+		case "pending":
+			e.audit = auditPending
+		default:
+			// No audit record (legacy file, or audit enabled after the
+			// shard completed): sample it now so the audit policy holds
+			// across restarts.
+			if c.table.auditFor != nil && c.table.auditFor(i) {
+				e.audit = auditPending
+			}
+		}
+	}
 	for _, pl := range st.Leases {
 		if pl.Shard < 0 || pl.Shard >= len(c.table.shards) {
 			continue
@@ -209,7 +361,8 @@ func (c *Coordinator) load() error {
 	return nil
 }
 
-// persistLocked writes the current lease table durably. Callers hold c.mu.
+// persistLocked writes the current lease table durably, sealed in the
+// campaign content-checksum envelope. Callers hold c.mu.
 func (c *Coordinator) persistLocked() error {
 	if c.statePath == "" {
 		return nil
@@ -232,14 +385,34 @@ func (c *Coordinator) persistLocked() error {
 		if e.status == shardDegraded {
 			st.Degraded = append(st.Degraded, i)
 		}
+		if e.sum == "" && e.audit == auditNone {
+			continue
+		}
+		m := persistedShardMeta{Shard: i, Sum: e.sum, Worker: e.worker}
+		switch e.audit {
+		case auditPending, auditLeased:
+			m.Audit = "pending"
+		case auditPassed:
+			m.Audit = "passed"
+			m.AuditWorker, m.AuditSum = e.auditWorker, e.auditSum
+		case auditFailed:
+			m.Audit = "failed"
+			m.AuditWorker, m.AuditSum = e.auditWorker, e.auditSum
+		}
+		st.Meta = append(st.Meta, m)
 	}
 	st.Checkpoint = campaign.NewCheckpoint(c.cfg, c.w, c.opts, shards)
 	for _, le := range c.table.leases {
+		if le.audit {
+			// Audit leases restart from scratch after a coordinator restart;
+			// persisting them would demote done shards on load.
+			continue
+		}
 		st.Leases = append(st.Leases, persistedLease{ID: le.id, Shard: le.shard, Worker: le.worker, Deadline: le.deadline})
 	}
 	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
 	err := campaign.RetryIO(c.tel, campaign.DefaultIORetries, campaign.DefaultIOBackoff, func() error {
-		return campaign.AtomicWriteJSON(c.statePath, &st)
+		return campaign.AtomicWriteSealedJSON(c.statePath, &st)
 	})
 	if err != nil {
 		return fmt.Errorf("distrib: persist state: %w", err)
@@ -247,8 +420,10 @@ func (c *Coordinator) persistLocked() error {
 	return nil
 }
 
-// maybeFinishLocked assembles the StudyResult once every shard is terminal.
-// Callers hold c.mu.
+// maybeFinishLocked assembles the StudyResult once every shard is terminal
+// and every sampled audit has resolved. A failed audit does not discard the
+// primary data — a digest mismatch proves one of the two runs is wrong, not
+// which — so the result is kept but flagged Partial. Callers hold c.mu.
 func (c *Coordinator) maybeFinishLocked() {
 	if c.result != nil || c.failure != nil || !c.table.terminal() {
 		return
@@ -257,6 +432,9 @@ func (c *Coordinator) maybeFinishLocked() {
 	if err != nil {
 		c.failLocked(err)
 		return
+	}
+	if c.table.auditFailures() > 0 {
+		res.Partial = true
 	}
 	c.result = res
 	c.doneOnce.Do(func() { close(c.done) })
@@ -289,11 +467,55 @@ func (c *Coordinator) Result(ctx context.Context) (*campaign.StudyResult, error)
 	return c.result, nil
 }
 
+// Finished is the non-blocking Result: it reports whether the campaign is
+// terminal and, when it is, the assembled result or failure.
+func (c *Coordinator) Finished() (res *campaign.StudyResult, done bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return nil, true, c.failure
+	}
+	if c.result != nil {
+		return c.result, true, nil
+	}
+	return nil, false, nil
+}
+
+// StartDrain puts the coordinator into drain mode: new lease requests are
+// refused (workers are told Draining and keep polling) while in-flight
+// reports continue to be accepted, so current leaseholders can land their
+// work before shutdown.
+func (c *Coordinator) StartDrain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+}
+
+// Idle reports whether no lease is live — after StartDrain this means every
+// in-flight shard either reported its final state or lapsed, and the
+// coordinator can persist and exit without stranding accepted work.
+func (c *Coordinator) Idle() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//lint:allow wallclock lease TTL is wall-clock liveness (DESIGN.md §6), not campaign identity
+	c.table.sweep(time.Now())
+	return len(c.table.leases) == 0
+}
+
+// PersistNow forces a durable write of the current state (a drain's final
+// step). No-op without a StatePath.
+func (c *Coordinator) PersistNow() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.persistLocked()
+}
+
 // Spec returns the normalized campaign spec.
 func (c *Coordinator) Spec() CampaignSpec { return c.spec }
 
 // Status summarizes campaign progress: shard statuses, deduplicated logical
-// experiments, and the merged telemetry of every reporting worker.
+// experiments, the merged telemetry of every reporting worker, and the audit
+// pass summary.
 func (c *Coordinator) Status() StatusReply {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -306,6 +528,7 @@ func (c *Coordinator) Status() StatusReply {
 		Expired:     c.table.expired,
 		Experiments: exps,
 		Completed:   c.result != nil,
+		Draining:    c.draining,
 	}
 	if c.failure != nil {
 		st.Failed = c.failure.Error()
@@ -322,10 +545,14 @@ func (c *Coordinator) Status() StatusReply {
 		snaps = append(snaps, c.workers[id])
 	}
 	st.Telemetry = telemetry.Merge("coordinator", snaps...)
+	// The audit summary is coordinator-side state, not worker-reported:
+	// attach it to the merged view directly.
+	st.Telemetry.Audit = c.table.auditSnapshot()
 	return st
 }
 
-// Handler returns the coordinator's HTTP API.
+// Handler returns the coordinator's HTTP API, wrapped in the transport
+// integrity layer (request size caps + body digest verification).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/campaign", c.handleCampaign)
@@ -333,7 +560,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/report", c.handleReport)
 	mux.HandleFunc("GET /v1/status", c.handleStatus)
 	mux.HandleFunc("GET /v1/result", c.handleResult)
-	return mux
+	return withIntegrity(mux)
 }
 
 func (c *Coordinator) handleCampaign(rw http.ResponseWriter, _ *http.Request) {
@@ -354,6 +581,10 @@ func (c *Coordinator) handleLease(rw http.ResponseWriter, r *http.Request) {
 	defer c.mu.Unlock()
 	if c.finishedLocked() {
 		writeJSON(rw, http.StatusOK, LeaseReply{Done: true})
+		return
+	}
+	if c.draining {
+		writeJSON(rw, http.StatusOK, LeaseReply{Draining: true, RetryAfterMS: c.table.ttl.Milliseconds() / 4})
 		return
 	}
 	//lint:allow wallclock lease TTL is wall-clock liveness (DESIGN.md §6), not campaign identity
@@ -433,8 +664,16 @@ func (c *Coordinator) handleResult(rw http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// writeJSON sends v with a body digest header, so clients detect replies
+// corrupted in transit and retry instead of decoding garbage.
 func writeJSON(rw http.ResponseWriter, code int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	rw.Header().Set("Content-Type", "application/json")
+	rw.Header().Set(DigestHeader, digestBytes(blob))
 	rw.WriteHeader(code)
-	json.NewEncoder(rw).Encode(v)
+	rw.Write(blob)
 }

@@ -383,3 +383,133 @@ func TestLeaseTableStaleReport(t *testing.T) {
 		t.Errorf("shard 0 = %+v after stale report", tab.shards[0])
 	}
 }
+
+// TestLeaseTableExpiredFinalReport: a worker whose lease expired mid-report
+// is rejected even before the shard is re-issued — expiry alone invalidates
+// the lease, and the shard's streamed checkpoint survives for the next
+// holder.
+func TestLeaseTableExpiredFinalReport(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newLeaseTable(1, time.Second)
+
+	l := tab.acquire("a", now)
+	if l == nil {
+		t.Fatal("no lease granted")
+	}
+	sc := campaign.NewShardCheckpoint(0)
+	sc.Experiments = 3
+	if !tab.report(&ReportRequest{Worker: "a", LeaseID: l.ID, Shard: sc}, now.Add(100*time.Millisecond)) {
+		t.Fatal("live heartbeat rejected")
+	}
+	// The final report arrives after the (extended) deadline: rejected, the
+	// shard returns to pending with its last accepted checkpoint intact.
+	late := now.Add(5 * time.Second)
+	fin := sc
+	fin.Done = true
+	fin.Experiments = 9
+	if tab.report(&ReportRequest{Worker: "a", LeaseID: l.ID, Shard: fin, Final: true}, late) {
+		t.Error("final report against an expired lease accepted")
+	}
+	e := &tab.shards[0]
+	if e.status != shardPending {
+		t.Errorf("shard status = %v, want pending after expiry", e.status)
+	}
+	if e.ckpt == nil || e.ckpt.Experiments != 3 || e.ckpt.Done {
+		t.Errorf("shard checkpoint = %+v, want the last in-lease heartbeat", e.ckpt)
+	}
+	if c, _ := tab.counts(); c.Done != 0 || c.Pending != 1 {
+		t.Errorf("counts = %+v after rejected expired final", c)
+	}
+}
+
+// TestLeaseTableDuplicateFinalReport: re-posting an already-accepted final
+// report (a lost-reply retry, or a duplicated delivery) must be rejected
+// without disturbing the shard's terminal accounting — the at-most-once
+// contract that makes chaos transports survivable.
+func TestLeaseTableDuplicateFinalReport(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newLeaseTable(1, time.Second)
+
+	l := tab.acquire("a", now)
+	if l == nil {
+		t.Fatal("no lease granted")
+	}
+	fin := campaign.NewShardCheckpoint(0)
+	fin.Done = true
+	fin.Experiments = 7
+	req := ReportRequest{Worker: "a", LeaseID: l.ID, Shard: fin, Final: true}
+	if !tab.report(&req, now.Add(100*time.Millisecond)) {
+		t.Fatal("first final report rejected")
+	}
+	if !tab.terminal() {
+		t.Fatal("table not terminal after the final report")
+	}
+	sumBefore := tab.shards[0].sum
+
+	// The duplicate — identical bytes, same lease — must bounce.
+	if tab.report(&req, now.Add(200*time.Millisecond)) {
+		t.Error("duplicate final report accepted")
+	}
+	// And a tampered duplicate must not overwrite the accepted state.
+	forged := req
+	forged.Shard.Experiments = 99
+	if tab.report(&forged, now.Add(300*time.Millisecond)) {
+		t.Error("forged duplicate final report accepted")
+	}
+	e := &tab.shards[0]
+	if e.status != shardDone || e.ckpt.Experiments != 7 || e.sum != sumBefore {
+		t.Errorf("shard accounting disturbed by duplicates: status=%v ckpt=%+v sum changed=%v",
+			e.status, e.ckpt, e.sum != sumBefore)
+	}
+	if c, _ := tab.counts(); c.Done != 1 {
+		t.Errorf("counts = %+v, want one done shard", c)
+	}
+	if tab.expired != 0 {
+		t.Errorf("expired = %d, duplicates must not count as expiries", tab.expired)
+	}
+}
+
+// TestLeaseTableAuditSelfFallback: audit leases prefer an independent
+// witness, but a single-worker deployment must not deadlock — after a full
+// TTL with no other taker, the primary worker may audit its own shard.
+func TestLeaseTableAuditSelfFallback(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tab := newLeaseTable(1, time.Second)
+	tab.auditFor = func(int) bool { return true }
+
+	l := tab.acquire("solo", now)
+	if l == nil {
+		t.Fatal("no lease granted")
+	}
+	fin := campaign.NewShardCheckpoint(0)
+	fin.Done = true
+	fin.Experiments = 7
+	if !tab.report(&ReportRequest{Worker: "solo", LeaseID: l.ID, Shard: fin, Final: true}, now) {
+		t.Fatal("final report rejected")
+	}
+	if tab.terminal() {
+		t.Fatal("table terminal with an unresolved audit")
+	}
+	// Immediately after completion the producing worker is refused its own
+	// audit...
+	if al := tab.acquire("solo", now.Add(10*time.Millisecond)); al != nil {
+		t.Fatalf("self-audit granted immediately: %+v", al)
+	}
+	// ...but another worker gets it at once...
+	al := tab.acquire("other", now.Add(20*time.Millisecond))
+	if al == nil || !al.Audit || al.Shard != 0 {
+		t.Fatalf("independent audit lease = %+v", al)
+	}
+	// ...and once that lapses and a full TTL has passed, the producer may
+	// self-audit rather than stall the campaign forever.
+	sl := tab.acquire("solo", now.Add(3*time.Second))
+	if sl == nil || !sl.Audit {
+		t.Fatalf("self-audit fallback after TTL = %+v", sl)
+	}
+	if !tab.report(&ReportRequest{Worker: "solo", LeaseID: sl.ID, Shard: fin, Final: true}, now.Add(3*time.Second)) {
+		t.Fatal("audit final report rejected")
+	}
+	if !tab.terminal() || tab.shards[0].audit != auditPassed {
+		t.Errorf("audit state = %v, want passed and terminal", tab.shards[0].audit)
+	}
+}

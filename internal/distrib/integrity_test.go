@@ -1,0 +1,209 @@
+package distrib
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fidelity/internal/campaign"
+	"fidelity/internal/telemetry"
+)
+
+// finishShards hand-drives n shards to completion over the wire as worker,
+// returning the last granted lease's shard indices.
+func finishShards(t *testing.T, srv *httptest.Server, c *Coordinator, spec CampaignSpec, worker string, n int) []int {
+	t.Helper()
+	w, err := spec.BuildWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		var reply LeaseReply
+		postJSON(t, srv.URL+"/v1/lease", LeaseRequest{Worker: worker}, &reply)
+		if reply.Lease == nil {
+			t.Fatalf("no lease granted for shard run %d", i)
+		}
+		sc, err := campaign.RunShard(context.Background(), c.cfg, w, spec.Options(), campaign.ShardRun{
+			Index:  reply.Lease.Shard,
+			Resume: reply.Lease.Resume,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep ReportReply
+		postJSON(t, srv.URL+"/v1/report", ReportRequest{Worker: worker, LeaseID: reply.Lease.ID, Shard: sc, Final: true}, &rep)
+		if !rep.OK {
+			t.Fatalf("final report for shard %d rejected", reply.Lease.Shard)
+		}
+		done = append(done, reply.Lease.Shard)
+	}
+	return done
+}
+
+// TestCoordinatorStateCorruptQuarantine: a persisted state file whose sealed
+// payload was corrupted on disk must be *detected* at startup (checksum
+// mismatch), quarantined aside for inspection, and counted in telemetry —
+// and the restarted campaign must converge to the byte-identical baseline
+// from scratch, never silently resume from the corrupt bytes.
+func TestCoordinatorStateCorruptQuarantine(t *testing.T) {
+	spec := chaosSpec()
+	want := baselineJSON(t, spec)
+	statePath := filepath.Join(t.TempDir(), "coordinator.json")
+	copts := CoordinatorOptions{Spec: spec, LeaseTTL: 2 * time.Second, StatePath: statePath}
+
+	c1, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(c1.Handler())
+	finishShards(t, srv1, c1, spec, "early", 2)
+	srv1.Close()
+
+	// Flip payload content without breaking the JSON: the envelope checksum
+	// must catch it.
+	blob, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := bytes.Replace(blob, []byte(`"seq"`), []byte(`"sEq"`), 1)
+	if bytes.Equal(mutated, blob) {
+		t.Fatal("corruption mutation found nothing to replace")
+	}
+	if err := os.WriteFile(statePath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	copts.Telemetry = tel
+	c2, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatalf("corrupt state must be quarantined, not fatal: %v", err)
+	}
+	if _, err := os.Stat(statePath + ".corrupt"); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if st := c2.Status(); st.Experiments != 0 {
+		t.Errorf("restarted coordinator resumed %d experiments from corrupt state, want a clean start", st.Experiments)
+	}
+	snap := tel.Snapshot()
+	if snap.Recovery == nil || snap.Recovery.CorruptArtifacts == 0 {
+		t.Errorf("corrupt artifact not counted in telemetry: %+v", snap.Recovery)
+	}
+
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wait := startWorkers(ctx, t, srv2.URL, 2, "w")
+	res, err := c2.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if got := resultJSON(t, res); string(got) != string(want) {
+		t.Errorf("result after quarantine differs from baseline:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCoordinatorStatePerShardCorruption: in a legacy (unsealed) state file
+// carrying per-shard acceptance digests, a tampered shard checkpoint must be
+// detected against its recorded digest, dropped, and re-issued — while the
+// intact shards resume untouched. The campaign still converges byte-identical.
+func TestCoordinatorStatePerShardCorruption(t *testing.T) {
+	spec := chaosSpec()
+	want := baselineJSON(t, spec)
+	statePath := filepath.Join(t.TempDir(), "coordinator.json")
+	copts := CoordinatorOptions{Spec: spec, LeaseTTL: 2 * time.Second, StatePath: statePath}
+
+	c1, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(c1.Handler())
+	done := finishShards(t, srv1, c1, spec, "early", 2)
+	srv1.Close()
+
+	// Rewrite the state as a legacy plain-JSON file (no envelope) with one
+	// shard's tallies tampered. Only the per-shard digest can catch this.
+	var st coordinatorState
+	if err := campaign.ReadSealedJSON(statePath, &st); err != nil {
+		t.Fatal(err)
+	}
+	st.Checkpoint.Shard[done[0]].Experiments += 7
+	if err := campaign.AtomicWriteJSON(statePath, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	copts.Telemetry = tel
+	c2, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := c2.Status()
+	if stat.Shards.Done != 1 {
+		t.Errorf("done shards after per-shard corruption = %d, want 1 (tampered shard dropped, intact shard kept)", stat.Shards.Done)
+	}
+	snap := tel.Snapshot()
+	if snap.Recovery == nil || snap.Recovery.CorruptArtifacts != 1 {
+		t.Errorf("corrupt artifacts counted = %+v, want exactly 1", snap.Recovery)
+	}
+
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wait := startWorkers(ctx, t, srv2.URL, 2, "w")
+	res, err := c2.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if got := resultJSON(t, res); string(got) != string(want) {
+		t.Errorf("result after per-shard recovery differs from baseline:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCoordinatorStateLegacyCompat: a pre-integrity state file — plain JSON,
+// no envelope, no per-shard digests — must still load and resume without
+// being counted as corrupt.
+func TestCoordinatorStateLegacyCompat(t *testing.T) {
+	spec := chaosSpec()
+	statePath := filepath.Join(t.TempDir(), "coordinator.json")
+	copts := CoordinatorOptions{Spec: spec, LeaseTTL: 2 * time.Second, StatePath: statePath}
+
+	c1, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(c1.Handler())
+	finishShards(t, srv1, c1, spec, "early", 2)
+	srv1.Close()
+
+	var st coordinatorState
+	if err := campaign.ReadSealedJSON(statePath, &st); err != nil {
+		t.Fatal(err)
+	}
+	st.Meta = nil
+	if err := campaign.AtomicWriteJSON(statePath, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := telemetry.New()
+	copts.Telemetry = tel
+	c2, err := NewCoordinator(copts)
+	if err != nil {
+		t.Fatalf("legacy state must load: %v", err)
+	}
+	if st := c2.Status(); st.Shards.Done != 2 || st.Experiments == 0 {
+		t.Errorf("legacy resume status = %+v, want both shards kept", st.Shards)
+	}
+	if snap := tel.Snapshot(); snap.Recovery != nil && snap.Recovery.CorruptArtifacts != 0 {
+		t.Errorf("legacy file miscounted as corrupt: %+v", snap.Recovery)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fidelity/internal/campaign"
+	"fidelity/internal/telemetry"
 )
 
 // shardStatus is one shard's place in the lease lifecycle.
@@ -24,6 +25,27 @@ const (
 
 func (s shardStatus) terminal() bool { return s == shardDone || s == shardDegraded }
 
+// auditState tracks a completed shard's independent re-verification. Shard
+// determinism (DESIGN.md §6) means a second worker re-running a shard from
+// scratch must reproduce the primary checkpoint byte for byte, so a digest
+// mismatch is proof of a faulty worker or transport — not noise.
+type auditState int
+
+const (
+	// auditNone: the shard was not sampled for audit.
+	auditNone auditState = iota
+	// auditPending: sampled, waiting for a (preferably different) worker.
+	auditPending
+	// auditLeased: a live audit lease covers the re-run.
+	auditLeased
+	// auditPassed: the re-run's checkpoint digest matched the primary's.
+	auditPassed
+	// auditFailed: the digests differ — the campaign is flagged Partial.
+	auditFailed
+)
+
+func (a auditState) resolved() bool { return a == auditNone || a == auditPassed || a == auditFailed }
+
 type shardEntry struct {
 	status shardStatus
 	// ckpt is the last coordinator-accepted checkpoint (nil until a worker
@@ -32,6 +54,23 @@ type shardEntry struct {
 	ckpt *campaign.ShardCheckpoint
 	// lease is the current lease ID while shardLeased.
 	lease string
+	// sum is the canonical-JSON digest of the accepted final checkpoint and
+	// worker who produced it, recorded at acceptance time. Verifying this at
+	// state load catches corruption across the shard's whole lifetime in
+	// coordinator memory, not just on disk.
+	sum    string
+	worker string
+	// audit fields mirror the primary ones for the verification re-run. The
+	// audit checkpoint is kept separate so a lapsing audit never clobbers
+	// the primary result it is meant to check.
+	audit       auditState
+	auditLease  string
+	auditCkpt   *campaign.ShardCheckpoint
+	auditSum    string
+	auditWorker string
+	// auditSince is when the shard became auditable; it gates the fallback
+	// that lets the primary worker audit itself when no one else shows up.
+	auditSince time.Time
 }
 
 type leaseEntry struct {
@@ -39,6 +78,9 @@ type leaseEntry struct {
 	shard    int
 	worker   string
 	deadline time.Time
+	// audit marks a verification re-run lease: its reports update the audit
+	// checkpoint, never the primary one.
+	audit bool
 }
 
 // leaseTable tracks shard ownership. It is not safe for concurrent use; the
@@ -51,6 +93,9 @@ type leaseTable struct {
 	shards  []shardEntry
 	leases  map[string]*leaseEntry
 	expired int
+	// auditFor, when non-nil, selects which completed shards get an audit
+	// re-run (a deterministic sample of the campaign seed).
+	auditFor func(shard int) bool
 }
 
 func newLeaseTable(n int, ttl time.Duration) *leaseTable {
@@ -67,7 +112,12 @@ func (t *leaseTable) sweep(now time.Time) {
 	for id, le := range t.leases {
 		if now.After(le.deadline) {
 			e := &t.shards[le.shard]
-			if e.lease == id {
+			if le.audit {
+				if e.auditLease == id {
+					e.audit = auditPending
+					e.auditLease = ""
+				}
+			} else if e.lease == id {
 				e.status = shardPending
 				e.lease = ""
 			}
@@ -77,8 +127,11 @@ func (t *leaseTable) sweep(now time.Time) {
 	}
 }
 
-// acquire grants the lowest-indexed pending shard to worker, or nil when
-// every shard is leased or terminal.
+// acquire grants the lowest-indexed pending shard to worker, or, when every
+// shard is terminal, the lowest-indexed pending audit re-run. Audit leases
+// prefer a worker other than the one that produced the primary result — an
+// independent witness — falling back to self-audit only after a full TTL
+// with no other taker, so single-worker deployments still drain.
 func (t *leaseTable) acquire(worker string, now time.Time) *Lease {
 	t.sweep(now)
 	for i := range t.shards {
@@ -93,14 +146,30 @@ func (t *leaseTable) acquire(worker string, now time.Time) *Lease {
 		t.leases[id] = &leaseEntry{id: id, shard: i, worker: worker, deadline: now.Add(t.ttl)}
 		return &Lease{ID: id, Shard: i, TTLMS: t.ttl.Milliseconds(), Resume: e.ckpt}
 	}
+	for i := range t.shards {
+		e := &t.shards[i]
+		if e.audit != auditPending {
+			continue
+		}
+		if worker == e.worker && now.Before(e.auditSince.Add(t.ttl)) {
+			continue
+		}
+		t.seq++
+		id := fmt.Sprintf("lease-%d", t.seq)
+		e.audit = auditLeased
+		e.auditLease = id
+		t.leases[id] = &leaseEntry{id: id, shard: i, worker: worker, deadline: now.Add(t.ttl), audit: true}
+		return &Lease{ID: id, Shard: i, TTLMS: t.ttl.Milliseconds(), Resume: e.auditCkpt, Audit: true}
+	}
 	return nil
 }
 
 // report applies a worker's checkpoint to the table. Only the shard's
 // current lease holder is accepted; anything else — an expired lease, a
-// lease superseded by a re-issue — is rejected so a resurrected worker
-// cannot clobber a shard that moved on. Accepted non-final reports extend
-// the lease (heartbeat); accepted final reports make the shard terminal.
+// lease superseded by a re-issue, a duplicate of an already-final report —
+// is rejected so a resurrected worker cannot clobber a shard that moved on.
+// Accepted non-final reports extend the lease (heartbeat); accepted final
+// reports make the shard terminal (or resolve its audit).
 func (t *leaseTable) report(req *ReportRequest, now time.Time) bool {
 	t.sweep(now)
 	le := t.leases[req.LeaseID]
@@ -108,6 +177,9 @@ func (t *leaseTable) report(req *ReportRequest, now time.Time) bool {
 		return false
 	}
 	e := &t.shards[le.shard]
+	if le.audit {
+		return t.reportAudit(le, e, req, now)
+	}
 	e.ckpt = &req.Shard
 	if !req.Final {
 		le.deadline = now.Add(t.ttl)
@@ -120,6 +192,18 @@ func (t *leaseTable) report(req *ReportRequest, now time.Time) bool {
 		e.status = shardDegraded
 	case req.Shard.Done:
 		e.status = shardDone
+		// Seal the accepted result: digest + producer, recorded at the
+		// moment of acceptance. Degraded shards are excluded from audit —
+		// their quarantine lists can depend on wall-clock supervision
+		// (timeouts), so a re-run mismatch would not be proof of fault.
+		if sum, err := digestJSON(&req.Shard); err == nil {
+			e.sum = sum
+			e.worker = req.Worker
+			if t.auditFor != nil && t.auditFor(le.shard) {
+				e.audit = auditPending
+				e.auditSince = now
+			}
+		}
 	default:
 		// A final report that neither completed nor degraded the shard:
 		// the worker gave the lease back. Re-issue from its checkpoint.
@@ -128,19 +212,96 @@ func (t *leaseTable) report(req *ReportRequest, now time.Time) bool {
 	return true
 }
 
-// terminal reports whether every shard is done or degraded.
+// reportAudit applies a report against an audit lease: heartbeats stream to
+// the audit checkpoint (never the primary), and the final report resolves
+// the audit by comparing canonical digests.
+func (t *leaseTable) reportAudit(le *leaseEntry, e *shardEntry, req *ReportRequest, now time.Time) bool {
+	e.auditCkpt = &req.Shard
+	if !req.Final {
+		le.deadline = now.Add(t.ttl)
+		return true
+	}
+	delete(t.leases, le.id)
+	e.auditLease = ""
+	if !req.Shard.Done && !req.Exhausted {
+		// Lease handed back unfinished; re-issue the audit.
+		e.audit = auditPending
+		return true
+	}
+	sum, err := digestJSON(&req.Shard)
+	if err != nil {
+		e.audit = auditPending
+		return true
+	}
+	e.auditSum = sum
+	e.auditWorker = req.Worker
+	if sum == e.sum {
+		e.audit = auditPassed
+	} else {
+		e.audit = auditFailed
+	}
+	return true
+}
+
+// terminal reports whether every shard is done or degraded AND every sampled
+// audit has resolved — the campaign does not finish with verifications in
+// flight.
 func (t *leaseTable) terminal() bool {
 	for i := range t.shards {
-		if !t.shards[i].status.terminal() {
+		if !t.shards[i].status.terminal() || !t.shards[i].audit.resolved() {
 			return false
 		}
 	}
 	return true
 }
 
+// auditFailures counts unresolved-as-failed audits.
+func (t *leaseTable) auditFailures() int {
+	n := 0
+	for i := range t.shards {
+		if t.shards[i].audit == auditFailed {
+			n++
+		}
+	}
+	return n
+}
+
+// auditSnapshot summarizes the audit pass for telemetry, nil when no shard
+// was sampled.
+func (t *leaseTable) auditSnapshot() *telemetry.AuditSnapshot {
+	var a telemetry.AuditSnapshot
+	for i := range t.shards {
+		e := &t.shards[i]
+		switch e.audit {
+		case auditNone:
+			continue
+		case auditPending, auditLeased:
+			a.Pending++
+		case auditPassed:
+			a.Passed++
+		case auditFailed:
+			a.Failed++
+			a.Failures = append(a.Failures, telemetry.AuditFailure{
+				Shard:       i,
+				Worker:      e.worker,
+				AuditWorker: e.auditWorker,
+				Sum:         e.sum,
+				AuditSum:    e.auditSum,
+			})
+		}
+		a.Sampled++
+	}
+	if a.Sampled == 0 {
+		return nil
+	}
+	return &a
+}
+
 // checkpoints returns one terminal checkpoint per shard, in index order.
 // Only valid once terminal() holds (every terminal shard has reported at
-// least once, so every ckpt is non-nil).
+// least once, so every ckpt is non-nil). Audit checkpoints are never merged:
+// on a mismatch we know one copy is wrong but not which, so the primary data
+// is kept and the campaign flagged Partial instead.
 func (t *leaseTable) checkpoints() []campaign.ShardCheckpoint {
 	out := make([]campaign.ShardCheckpoint, len(t.shards))
 	for i := range t.shards {
@@ -149,7 +310,9 @@ func (t *leaseTable) checkpoints() []campaign.ShardCheckpoint {
 	return out
 }
 
-// counts summarizes shard statuses and total accepted experiments.
+// counts summarizes shard statuses and total accepted experiments. A done
+// shard whose audit is still open counts as Auditing, not Done, so status
+// consumers see the campaign is not finished yet.
 func (t *leaseTable) counts() (ShardCounts, int) {
 	var c ShardCounts
 	exps := 0
@@ -160,7 +323,11 @@ func (t *leaseTable) counts() (ShardCounts, int) {
 		case shardLeased:
 			c.Leased++
 		case shardDone:
-			c.Done++
+			if !t.shards[i].audit.resolved() {
+				c.Auditing++
+			} else {
+				c.Done++
+			}
 		case shardDegraded:
 			c.Degraded++
 		}

@@ -156,6 +156,10 @@ type Lease struct {
 	// run from scratch). Work a lapsed worker streamed before vanishing is
 	// not lost: the next lease continues from it bit-identically.
 	Resume *campaign.ShardCheckpoint `json:"resume,omitempty"`
+	// Audit marks a verification re-run of an already-completed shard: the
+	// worker executes it exactly like a primary lease, and the coordinator
+	// byte-compares the resulting checkpoint against the accepted one.
+	Audit bool `json:"audit,omitempty"`
 }
 
 // LeaseReply answers POST /v1/lease.
@@ -167,6 +171,10 @@ type LeaseReply struct {
 	Done bool `json:"done,omitempty"`
 	// RetryAfterMS is the suggested poll delay when no lease was granted.
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Draining reports the coordinator is shutting down and refusing new
+	// leases; workers should keep polling (a restarted coordinator resumes
+	// from persisted state) unless their own context ends first.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // ReportRequest streams shard state back to the coordinator. Non-final
@@ -203,9 +211,12 @@ type ReportReply struct {
 
 // ShardCounts breaks the lease table down by shard status.
 type ShardCounts struct {
-	Pending  int `json:"pending"`
-	Leased   int `json:"leased"`
-	Done     int `json:"done"`
+	Pending int `json:"pending"`
+	Leased  int `json:"leased"`
+	Done    int `json:"done"`
+	// Auditing counts completed shards whose verification re-run has not
+	// resolved yet; they move to Done (or fail the audit) when it does.
+	Auditing int `json:"auditing,omitempty"`
 	Degraded int `json:"degraded,omitempty"`
 }
 
@@ -221,6 +232,9 @@ type StatusReply struct {
 	Experiments int `json:"experiments"`
 	// Completed is true once the final StudyResult is assembled.
 	Completed bool `json:"completed,omitempty"`
+	// Draining reports the coordinator is refusing new leases ahead of a
+	// shutdown.
+	Draining bool `json:"draining,omitempty"`
 	// Failed carries the campaign failure, if any.
 	Failed string `json:"failed,omitempty"`
 	// Telemetry is the merge of every worker's last snapshot (plus the

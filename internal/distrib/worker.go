@@ -6,13 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
 
 	"fidelity/internal/accel"
 	"fidelity/internal/campaign"
+	"fidelity/internal/faultmodel"
 	"fidelity/internal/model"
 	"fidelity/internal/telemetry"
 )
@@ -49,11 +52,33 @@ type worker struct {
 	hc   *http.Client
 	tel  *telemetry.Collector
 	pub  int
+	// rng feeds the poll/backoff jitter that de-synchronizes a restarted
+	// fleet. Seeded from the worker ID so each worker's cadence is distinct
+	// but reproducible; only the Work goroutine draws from it (heartbeat
+	// posts never jitter), so no lock is needed.
+	rng *rand.Rand
 
 	cfg  *accel.Config
 	w    *model.Workload
 	opts campaign.StudyOptions
 	ttl  time.Duration
+}
+
+// workerSeed hashes a worker ID into a jitter stream seed.
+func workerSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
+}
+
+// jitter spreads d uniformly over [d/2, 3d/2) so a fleet restarted in
+// lockstep fans back out instead of thundering-herding the coordinator on a
+// shared cadence.
+func (wk *worker) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(wk.rng.Int63n(int64(d)))
 }
 
 // Work runs a worker loop against the coordinator at o.BaseURL until the
@@ -78,6 +103,7 @@ func Work(ctx context.Context, o WorkerOptions) error {
 		hc:   o.HTTPClient,
 		tel:  o.Telemetry,
 		pub:  o.PublishEvery,
+		rng:  rand.New(faultmodel.NewStreamSource(workerSeed(o.ID))),
 	}
 	if wk.poll <= 0 {
 		wk.poll = DefaultPoll
@@ -122,7 +148,7 @@ func Work(ctx context.Context, o WorkerOptions) error {
 			if reply.RetryAfterMS > 0 {
 				delay = time.Duration(reply.RetryAfterMS) * time.Millisecond
 			}
-			if err := sleep(ctx, delay); err != nil {
+			if err := sleep(ctx, wk.jitter(delay)); err != nil {
 				return err
 			}
 		default:
@@ -219,6 +245,9 @@ func (wk *worker) post(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// The digest lets the coordinator detect a body corrupted in transit
+	// and answer 503, which the retry loop turns into a clean re-send.
+	req.Header.Set(DigestHeader, digestBytes(blob))
 	return wk.do(req, out)
 }
 
@@ -245,6 +274,10 @@ func (wk *worker) do(req *http.Request, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("distrib: %s: %s: %s", req.URL.Path, resp.Status, bytes.TrimSpace(body))
 	}
+	if want := resp.Header.Get(DigestHeader); want != "" && digestBytes(body) != want {
+		// The reply was corrupted in transit; retry rather than decode it.
+		return &transientError{fmt.Errorf("distrib: %s: reply body digest mismatch", req.URL.Path)}
+	}
 	if out == nil {
 		return nil
 	}
@@ -255,7 +288,9 @@ func (wk *worker) do(req *http.Request, out any) error {
 }
 
 // retry runs fn until it succeeds, fails permanently, or ctx is cancelled.
-// Transient failures back off exponentially from Poll, capped at 16×.
+// Transient failures back off exponentially from Poll, capped at 16×, with
+// deterministic per-worker jitter so a fleet that lost its coordinator does
+// not reconverge on a synchronized retry cadence.
 func (wk *worker) retry(ctx context.Context, fn func() error) error {
 	backoff := wk.poll
 	for {
@@ -264,7 +299,7 @@ func (wk *worker) retry(ctx context.Context, fn func() error) error {
 		if err == nil || !errors.As(err, &te) {
 			return err
 		}
-		if err := sleep(ctx, backoff); err != nil {
+		if err := sleep(ctx, wk.jitter(backoff)); err != nil {
 			return err
 		}
 		if backoff < 16*wk.poll {

@@ -25,7 +25,8 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 	var rep ReplaySnapshot
 	var bat BatchSnapshot
 	var ker KernelSnapshot
-	haveRec, haveRep, haveBat, haveKer := false, false, false, false
+	var aud AuditSnapshot
+	haveRec, haveRep, haveBat, haveKer, haveAud := false, false, false, false, false
 	for _, s := range snaps {
 		if s.Source != "" {
 			sources[s.Source] = true
@@ -62,7 +63,16 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 			rec.PanicsRecovered += r.PanicsRecovered
 			rec.Timeouts += r.Timeouts
 			rec.IORetries += r.IORetries
+			rec.CorruptArtifacts += r.CorruptArtifacts
 			rec.Shards = append(rec.Shards, r.Shards...)
+		}
+		if a := s.Audit; a != nil {
+			haveAud = true
+			aud.Sampled += a.Sampled
+			aud.Pending += a.Pending
+			aud.Passed += a.Passed
+			aud.Failed += a.Failed
+			aud.Failures = append(aud.Failures, a.Failures...)
 		}
 		if r := s.Replay; r != nil {
 			haveRep = true
@@ -126,6 +136,10 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 	}
 	if haveKer {
 		m.Kernels = &ker
+	}
+	if haveAud {
+		sort.Slice(aud.Failures, func(i, j int) bool { return aud.Failures[i].Shard < aud.Failures[j].Shard })
+		m.Audit = &aud
 	}
 	for src := range sources {
 		m.Sources = append(m.Sources, src)

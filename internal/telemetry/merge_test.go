@@ -104,3 +104,45 @@ func TestMerge(t *testing.T) {
 		t.Errorf("empty merge = %+v", empty)
 	}
 }
+
+// TestMergeAudit: audit telemetry from multiple sources merges by summing the
+// counters and concatenating the failure records sorted by shard, and
+// corrupt-artifact counts sum alongside the rest of recovery.
+func TestMergeAudit(t *testing.T) {
+	a := Snapshot{
+		Source: "coord-1",
+		Audit: &AuditSnapshot{
+			Sampled: 4, Pending: 1, Passed: 2, Failed: 1,
+			Failures: []AuditFailure{{Shard: 5, Worker: "w2", AuditWorker: "w1", Sum: "aa", AuditSum: "bb"}},
+		},
+		Recovery: &RecoverySnapshot{CorruptArtifacts: 2},
+	}
+	b := Snapshot{
+		Source: "coord-2",
+		Audit: &AuditSnapshot{
+			Sampled: 3, Passed: 2, Failed: 1,
+			Failures: []AuditFailure{{Shard: 1, Worker: "w9", AuditWorker: "w3", Sum: "cc", AuditSum: "dd"}},
+		},
+		Recovery: &RecoverySnapshot{CorruptArtifacts: 1},
+	}
+
+	m := Merge("all", a, b)
+	if m.Audit == nil {
+		t.Fatal("merged snapshot dropped the audit block")
+	}
+	if m.Audit.Sampled != 7 || m.Audit.Pending != 1 || m.Audit.Passed != 4 || m.Audit.Failed != 2 {
+		t.Errorf("merged audit counters = %+v", m.Audit)
+	}
+	if len(m.Audit.Failures) != 2 || m.Audit.Failures[0].Shard != 1 || m.Audit.Failures[1].Shard != 5 {
+		t.Errorf("merged audit failures = %+v, want both records sorted by shard", m.Audit.Failures)
+	}
+	if m.Recovery == nil || m.Recovery.CorruptArtifacts != 3 {
+		t.Errorf("merged corrupt artifacts = %+v, want 3", m.Recovery)
+	}
+
+	// Snapshots without audit blocks merge to no audit block — the field is
+	// evidence of auditing, not a default.
+	if plain := Merge("all", Snapshot{Source: "x"}, Snapshot{Source: "y"}); plain.Audit != nil {
+		t.Errorf("audit block materialized from nothing: %+v", plain.Audit)
+	}
+}

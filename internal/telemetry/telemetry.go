@@ -43,6 +43,7 @@ type Collector struct {
 	// Recovery counters: the supervision layer's record of framework-level
 	// failures it survived during the campaign.
 	panics, timeouts, ioRetries, quarantined atomic.Int64
+	corruptArtifacts                         atomic.Int64
 	shardBudgets                             sync.Map // shard index (int) -> *shardBudget
 
 	// Replay counters: the incremental replay engine's cumulative savings.
@@ -132,6 +133,14 @@ func (c *Collector) RecordQuarantine(shard int, reason string) {
 // RecordIORetry counts one retried transient I/O failure (checkpoint or
 // manifest write).
 func (c *Collector) RecordIORetry() { c.ioRetries.Add(1) }
+
+// RecordCorruptArtifact counts one persisted artifact (checkpoint,
+// coordinator state) whose content checksum failed verification at load and
+// was quarantined instead of trusted. The campaign recovers by re-deriving
+// the state (shard determinism makes re-execution safe), so this is a
+// survived failure, not a crash — but operators should know their storage
+// is eating bits.
+func (c *Collector) RecordCorruptArtifact() { c.corruptArtifacts.Add(1) }
 
 // RecordReplay accumulates one experiment's incremental-replay savings:
 // layer executions skipped vs. recomputed (and the region-swept subset of the
@@ -238,11 +247,49 @@ type ShardBudgetState struct {
 // RecoverySnapshot reports the supervision layer's recovery counters:
 // framework failures survived (and quarantined) rather than crashed on.
 type RecoverySnapshot struct {
-	Quarantined     int64              `json:"quarantined"`
-	PanicsRecovered int64              `json:"panics_recovered"`
-	Timeouts        int64              `json:"timeouts"`
-	IORetries       int64              `json:"io_retries"`
-	Shards          []ShardBudgetState `json:"shards,omitempty"` // shards with failures, ascending
+	Quarantined     int64 `json:"quarantined"`
+	PanicsRecovered int64 `json:"panics_recovered"`
+	Timeouts        int64 `json:"timeouts"`
+	IORetries       int64 `json:"io_retries"`
+	// CorruptArtifacts counts persisted artifacts that failed their content
+	// checksum at load and were quarantined (state re-derived from scratch).
+	CorruptArtifacts int64              `json:"corrupt_artifacts,omitempty"`
+	Shards           []ShardBudgetState `json:"shards,omitempty"` // shards with failures, ascending
+}
+
+// AuditFailure records one completed shard whose audit re-execution by a
+// second worker produced a byte-different checkpoint. Shard determinism
+// makes the two executions identical by construction, so a mismatch is
+// proof that a worker or the transport corrupted the result — which of the
+// two copies is poisoned cannot be decided, so the campaign is flagged
+// Partial instead of trusting either.
+type AuditFailure struct {
+	Shard int `json:"shard"`
+	// Worker produced the accepted (primary) checkpoint; AuditWorker the
+	// re-execution.
+	Worker      string `json:"worker,omitempty"`
+	AuditWorker string `json:"audit_worker,omitempty"`
+	// Sum and AuditSum are the mismatching content digests.
+	Sum      string `json:"sum,omitempty"`
+	AuditSum string `json:"audit_sum,omitempty"`
+}
+
+// AuditSnapshot reports the coordinator's result-audit pass: how many
+// completed shards were deterministically sampled for re-execution by a
+// second worker, and how the byte-comparisons came out.
+type AuditSnapshot struct {
+	// Sampled counts shards selected for audit (a pure function of the
+	// campaign seed, the shard index, and the audit fraction).
+	Sampled int64 `json:"sampled"`
+	// Pending counts sampled shards whose audit has not finished yet.
+	Pending int64 `json:"pending,omitempty"`
+	// Passed counts audits whose re-executed checkpoint was byte-identical
+	// to the accepted one.
+	Passed int64 `json:"passed"`
+	// Failed counts mismatches; Failures carries their details, ascending
+	// by shard.
+	Failed   int64          `json:"failed,omitempty"`
+	Failures []AuditFailure `json:"failures,omitempty"`
 }
 
 // ReplaySnapshot reports the incremental replay engine's cumulative savings
@@ -304,6 +351,9 @@ type Snapshot struct {
 	// framework failure or retried an I/O operation, so clean-run snapshots
 	// are unchanged.
 	Recovery *RecoverySnapshot `json:"recovery,omitempty"`
+	// Audit is present only on coordinator snapshots of campaigns running a
+	// result-audit pass (CoordinatorOptions.AuditFraction > 0).
+	Audit *AuditSnapshot `json:"audit,omitempty"`
 	// Replay is present only when the incremental replay engine ran (it is
 	// omitted entirely when replay is disabled).
 	Replay *ReplaySnapshot `json:"replay,omitempty"`
@@ -345,10 +395,11 @@ func (c *Collector) Snapshot() Snapshot {
 		s.Models = models
 	}
 	rec := RecoverySnapshot{
-		Quarantined:     c.quarantined.Load(),
-		PanicsRecovered: c.panics.Load(),
-		Timeouts:        c.timeouts.Load(),
-		IORetries:       c.ioRetries.Load(),
+		Quarantined:      c.quarantined.Load(),
+		PanicsRecovered:  c.panics.Load(),
+		Timeouts:         c.timeouts.Load(),
+		IORetries:        c.ioRetries.Load(),
+		CorruptArtifacts: c.corruptArtifacts.Load(),
 	}
 	c.shardBudgets.Range(func(k, v any) bool {
 		b := v.(*shardBudget)
@@ -361,7 +412,7 @@ func (c *Collector) Snapshot() Snapshot {
 		return true
 	})
 	sort.Slice(rec.Shards, func(i, j int) bool { return rec.Shards[i].Shard < rec.Shards[j].Shard })
-	if rec.Quarantined > 0 || rec.IORetries > 0 || len(rec.Shards) > 0 {
+	if rec.Quarantined > 0 || rec.IORetries > 0 || rec.CorruptArtifacts > 0 || len(rec.Shards) > 0 {
 		s.Recovery = &rec
 	}
 	skipped, recomputed := c.replaySkipped.Load(), c.replayRecomputed.Load()
