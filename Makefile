@@ -48,8 +48,9 @@ bench:
 
 # Measure the paired benchmarks and export them as benchstat-compatible JSON
 # artifacts (per-workload ns/op + allocs/op, speedups, and the geomean):
-# replay-vs-full per injection (BENCH_inject.json) and optimized-vs-baseline
-# per campaign (BENCH_campaign.json). CI uploads both.
+# replay-vs-full per injection (BENCH_inject.json), optimized-vs-baseline per
+# campaign (BENCH_campaign.json), and adaptive-vs-fixed experiment counts at
+# equal Wilson CI (BENCH_adaptive.json). CI uploads all three.
 bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkInjectionReplay$$' -benchmem . > bench_inject.txt
 	$(GO) run ./cmd/benchjson -o BENCH_inject.json < bench_inject.txt
@@ -57,6 +58,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkCampaign$$' -timeout 60m . > bench_campaign.txt
 	$(GO) run ./cmd/benchjson -o BENCH_campaign.json < bench_campaign.txt
 	@rm -f bench_campaign.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkAdaptive$$' -timeout 60m . > bench_adaptive.txt
+	$(GO) run ./cmd/benchjson -o BENCH_adaptive.json < bench_adaptive.txt
+	@rm -f bench_adaptive.txt
 
 # Regenerate the benchmark artifacts into *.new.json and gate them against
 # the committed baselines: fail if either geomean speedup regressed by more
@@ -64,10 +68,12 @@ bench-json:
 bench-gate:
 	cp BENCH_inject.json BENCH_inject.base.json
 	cp BENCH_campaign.json BENCH_campaign.base.json
+	cp BENCH_adaptive.json BENCH_adaptive.base.json
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson/benchgate -old BENCH_inject.base.json -new BENCH_inject.json
 	$(GO) run ./cmd/benchjson/benchgate -old BENCH_campaign.base.json -new BENCH_campaign.json
-	@rm -f BENCH_inject.base.json BENCH_campaign.base.json
+	$(GO) run ./cmd/benchjson/benchgate -old BENCH_adaptive.base.json -new BENCH_adaptive.json
+	@rm -f BENCH_inject.base.json BENCH_campaign.base.json BENCH_adaptive.base.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

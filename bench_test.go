@@ -380,6 +380,49 @@ func BenchmarkInjectionReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptive measures the adaptive planner's experiment savings at
+// equal statistical resolution: each CNN runs once with Wilson-CI early
+// stopping (TargetCI) and once with the fixed per-stratum count
+// SamplesFor(TargetCI) that guarantees the same worst-case half-width. The
+// reported "ns/op" value is experiments executed per campaign, not time, so
+// the paired BENCH_adaptive.json speedup is the fixed/adaptive experiment
+// ratio — the quantity the adaptive sampler exists to shrink. The zoo runs
+// at INT8, where masking probabilities sit near the extremes and early
+// stopping pays most; FP16's datapath strata are mid-range, so its savings
+// are smaller (~3x) and bounded by the strata that genuinely need the
+// worst-case budget. `make bench-json` turns this into BENCH_adaptive.json.
+func BenchmarkAdaptive(b *testing.B) {
+	cfg := accel.NVDLASmall()
+	const target = 0.03
+	modes := []struct {
+		name string
+		opts campaign.StudyOptions
+	}{
+		{"adaptive", campaign.StudyOptions{TargetCI: target, Inputs: 1, Tolerance: 0.1, Seed: 1}},
+		{"fixed", campaign.StudyOptions{Samples: campaign.SamplesFor(target), Inputs: 1, Tolerance: 0.1, Seed: 1}},
+	}
+	for _, net := range []string{"inception", "resnet", "mobilenet"} {
+		w, err := model.Build(net, numerics.INT8, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range modes {
+			b.Run(net+"/"+mode.name, func(b *testing.B) {
+				exps := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := campaign.Study(context.Background(), cfg, w, mode.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					exps = res.Experiments
+				}
+				b.ReportMetric(float64(exps), "ns/op")
+			})
+		}
+	}
+}
+
 // BenchmarkCampaign measures full-campaign wall clock — golden trace, every
 // fault model, tallies, FIT — under the optimized execution stack (tiled
 // kernels, dirty-region sweeps, site-grouped experiment batching, one shared

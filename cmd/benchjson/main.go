@@ -5,6 +5,7 @@
 //
 //	BenchmarkInjectionReplay/<workload>/{replay,full}      -> BENCH_inject.json
 //	BenchmarkCampaign/<workload>/{optimized,baseline}      -> BENCH_campaign.json
+//	BenchmarkAdaptive/<workload>/{adaptive,fixed}          -> BENCH_adaptive.json
 //
 // Usage:
 //
@@ -72,6 +73,10 @@ var pairSpecs = []struct {
 }{
 	{"BenchmarkInjectionReplay/", "replay", "full"},
 	{"BenchmarkCampaign/", "optimized", "baseline"},
+	// BenchmarkAdaptive reports experiments-per-campaign as its ns/op value,
+	// so this pair's "speedup" is the fixed/adaptive experiment ratio at
+	// equal Wilson-CI resolution.
+	{"BenchmarkAdaptive/", "adaptive", "fixed"},
 }
 
 var benchLine = regexp.MustCompile(

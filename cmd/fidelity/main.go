@@ -161,6 +161,7 @@ func sensitivity(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sensitivity", flag.ExitOnError)
 	net := fs.String("net", "yolo", "workload")
 	samples := fs.Int("samples", 200, "experiments per fault model")
+	targetCI := fs.Float64("target-ci", 0, "adaptive stratified sampling: stop each stratum once its 95% Wilson CI half-width reaches this target (mutually exclusive with -samples; in (0, 0.5])")
 	ffDelta := fs.Float64("ff", 0.3, "relative uncertainty of the FF-count estimate")
 	actDelta := fs.Float64("act", 0.2, "relative uncertainty of the activeness estimates")
 	expTimeout := fs.Duration("experiment-timeout", 0, "per-experiment watchdog deadline (0 = off)")
@@ -170,7 +171,25 @@ func sensitivity(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *samples <= 0 {
+	if *targetCI != 0 {
+		samplesSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "samples" {
+				samplesSet = true
+			}
+		})
+		if samplesSet {
+			fmt.Fprintln(os.Stderr, "fidelity: -samples and -target-ci are mutually exclusive")
+			fs.Usage()
+			os.Exit(2)
+		}
+		if *targetCI < 0 || *targetCI > 0.5 {
+			fmt.Fprintf(os.Stderr, "fidelity: -target-ci must be in (0, 0.5] (got %g)\n", *targetCI)
+			fs.Usage()
+			os.Exit(2)
+		}
+		*samples = 0
+	} else if *samples <= 0 {
 		fmt.Fprintf(os.Stderr, "fidelity: -samples must be positive (got %d)\n", *samples)
 		fs.Usage()
 		os.Exit(2)
@@ -186,7 +205,7 @@ func sensitivity(ctx context.Context, args []string) error {
 		return err
 	}
 	res, err := fw.Analyze(ctx, *net, numerics.FP16, campaign.StudyOptions{
-		Samples: *samples, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
+		Samples: *samples, TargetCI: *targetCI, Inputs: 2, Tolerance: 0.1, Seed: 1, Workers: runtime.NumCPU(),
 		ExperimentTimeout: *expTimeout, FailureBudget: *failBudget,
 		DisableReplay: *noReplay, ExperimentBatch: *batch,
 	})

@@ -45,6 +45,22 @@ func TestSensitivityBatchFlagRejectsNonPositive(t *testing.T) {
 	}
 }
 
+func TestSensitivityTargetCIExcludesSamples(t *testing.T) {
+	out, code := runCLI(t, "sensitivity", "-target-ci", "0.05", "-samples", "100")
+	if code != 2 || !strings.Contains(out, "mutually exclusive") {
+		t.Fatalf("sensitivity -target-ci with -samples: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestSensitivityTargetCIRangeValidated(t *testing.T) {
+	for _, bad := range []string{"0.6", "-0.2"} {
+		out, code := runCLI(t, "sensitivity", "-target-ci", bad)
+		if code != 2 || !strings.Contains(out, "-target-ci must be in (0, 0.5]") {
+			t.Errorf("sensitivity -target-ci %s: exit %d, output:\n%s", bad, code, out)
+		}
+	}
+}
+
 func TestUnknownSubcommandExitsTwo(t *testing.T) {
 	out, code := runCLI(t, "nosuchcmd")
 	if code != 2 || !strings.Contains(out, "usage:") {

@@ -102,6 +102,7 @@ func serve(ctx context.Context, args []string) error {
 	precision := fs.String("precision", "fp16", "numeric precision (fp16, int16, int8)")
 	tolerance := fs.Float64("tolerance", 0.1, "application output-error tolerance")
 	samples := fs.Int("samples", 400, "injection experiments per fault model per input")
+	targetCI := fs.Float64("target-ci", 0, "adaptive stratified sampling: the coordinator plans rounds until every stratum's 95% Wilson CI half-width reaches this target (mutually exclusive with -samples; in (0, 0.5])")
 	inputs := fs.Int("inputs", 4, "distinct dataset inputs")
 	seed := fs.Int64("seed", 1, "sampling seed (campaign identity)")
 	shards := fs.Int("shards", 0, "deterministic sampling shards (0 = default; campaign identity like -seed)")
@@ -118,7 +119,21 @@ func serve(ctx context.Context, args []string) error {
 	progress := fs.Duration("progress", 0, "emit merged JSONL telemetry snapshots to stderr at this interval (0 = off)")
 	manifest := fs.String("manifest", "", "write a machine-readable run manifest to this file (empty disables)")
 	fs.Parse(args)
-	if *samples <= 0 {
+	if *targetCI != 0 {
+		samplesSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "samples" {
+				samplesSet = true
+			}
+		})
+		if samplesSet {
+			usageError(fs, "-samples and -target-ci are mutually exclusive (the adaptive planner sizes each stratum itself)")
+		}
+		if *targetCI < 0 || *targetCI > 0.5 {
+			usageError(fs, "-target-ci must be in (0, 0.5] (got %g)", *targetCI)
+		}
+		*samples = 0
+	} else if *samples <= 0 {
 		usageError(fs, "-samples must be positive (got %d)", *samples)
 	}
 	if *inputs <= 0 {
@@ -148,6 +163,7 @@ func serve(ctx context.Context, args []string) error {
 		WorkloadSeed:      42,
 		Tolerance:         *tolerance,
 		Samples:           *samples,
+		TargetCI:          *targetCI,
 		Inputs:            *inputs,
 		Seed:              *seed,
 		Shards:            *shards,

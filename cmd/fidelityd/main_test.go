@@ -47,6 +47,22 @@ func TestServeBatchFlagRejectsNonPositive(t *testing.T) {
 	}
 }
 
+func TestServeTargetCIExcludesSamples(t *testing.T) {
+	out, code := runCLI(t, "serve", "-target-ci", "0.05", "-samples", "100")
+	if code != 2 || !strings.Contains(out, "mutually exclusive") {
+		t.Fatalf("serve -target-ci with -samples: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestServeTargetCIRangeValidated(t *testing.T) {
+	for _, bad := range []string{"0.7", "-0.05"} {
+		out, code := runCLI(t, "serve", "-target-ci", bad)
+		if code != 2 || !strings.Contains(out, "-target-ci must be in (0, 0.5]") {
+			t.Errorf("serve -target-ci %s: exit %d, output:\n%s", bad, code, out)
+		}
+	}
+}
+
 func TestServeLeaseTTLStillValidated(t *testing.T) {
 	out, code := runCLI(t, "serve", "-lease-ttl", "-1s")
 	if code != 2 || !strings.Contains(out, "-lease-ttl must be positive") {

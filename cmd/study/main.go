@@ -15,7 +15,10 @@
 // All campaign modes take -workers (parallel injection) and -perlayer
 // (estimate Prob_SWmask per layer — the exact Eq. 2 form). The paper's study
 // is 46M experiments; -samples scales the per-model count (Wilson 95% CIs
-// are reported so the statistical resolution is explicit).
+// are reported so the statistical resolution is explicit). -target-ci W
+// replaces the fixed count with adaptive stratified sampling: planner rounds
+// stop each stratum once its 95% Wilson CI half-width reaches W, typically
+// at a small fraction of the fixed-count experiment budget.
 //
 // Campaigns are long-lived jobs, not function calls. SIGINT (Ctrl-C) stops
 // the run at an experiment boundary and saves a resumable checkpoint to
@@ -59,6 +62,7 @@ func main() {
 	speedup := flag.Bool("speedup", false, "Sec. VI speedup comparison")
 	naive := flag.Bool("baseline", false, "Sec. VI naive-FI comparison")
 	samples := flag.Int("samples", 400, "injection experiments per fault model per workload")
+	targetCI := flag.Float64("target-ci", 0, "adaptive stratified sampling: run planner rounds until every (layer, fault model) stratum's 95% Wilson CI half-width is at most this target (mutually exclusive with -samples; in (0, 0.5])")
 	inputs := flag.Int("inputs", 4, "distinct dataset inputs per workload")
 	iters := flag.Int("iters", 200, "timing iterations for -speedup")
 	seed := flag.Int64("seed", 1, "sampling seed")
@@ -79,7 +83,21 @@ func main() {
 	noRegion := flag.Bool("no-region-sweep", false, "recompute whole layers during replay instead of only the dirty output region (bit-identical results, slower)")
 	batch := flag.Int("batch", campaign.DefaultExperimentBatch, "experiment batch window for site-grouped execution (1 = unbatched; bit-identical results for every value)")
 	flag.Parse()
-	if *samples <= 0 {
+	if *targetCI != 0 {
+		samplesSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "samples" {
+				samplesSet = true
+			}
+		})
+		if samplesSet {
+			usageError("-samples and -target-ci are mutually exclusive (the adaptive planner sizes each stratum itself)")
+		}
+		if *targetCI < 0 || *targetCI > 0.5 {
+			usageError("-target-ci must be in (0, 0.5] (got %g)", *targetCI)
+		}
+		*samples = 0
+	} else if *samples <= 0 {
 		usageError("-samples must be positive (got %d)", *samples)
 	}
 	if *inputs <= 0 {
@@ -113,7 +131,7 @@ func main() {
 		tel:   telemetry.New(),
 		start: time.Now(),
 		opts: campaign.StudyOptions{
-			Samples: *samples, Inputs: *inputs, Seed: *seed,
+			Samples: *samples, TargetCI: *targetCI, Inputs: *inputs, Seed: *seed,
 			Workers: *workers, Shards: *shards, PerLayer: *perLayer,
 			CheckpointPath:     *checkpoint,
 			CheckpointInterval: *ckptInterval,
@@ -325,6 +343,7 @@ type runManifest struct {
 	End         time.Time          `json:"end"`
 	Seed        int64              `json:"seed"`
 	Samples     int                `json:"samples"`
+	TargetCI    float64            `json:"target_ci,omitempty"`
 	Inputs      int                `json:"inputs"`
 	Workers     int                `json:"workers"`
 	Shards      int                `json:"shards"`
@@ -344,7 +363,7 @@ func (r *runner) writeManifest(path string, intr *campaign.Interrupted) {
 	m := runManifest{
 		Command: "study", Args: os.Args[1:], Mode: r.mode,
 		Start: r.start, End: time.Now(),
-		Seed: r.opts.Seed, Samples: r.opts.Samples, Inputs: r.opts.Inputs,
+		Seed: r.opts.Seed, Samples: r.opts.Samples, TargetCI: r.opts.TargetCI, Inputs: r.opts.Inputs,
 		Workers: r.opts.Workers, Shards: r.opts.Shards, PerLayer: r.opts.PerLayer,
 		Telemetry: r.tel.Snapshot(),
 	}

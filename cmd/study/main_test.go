@@ -69,3 +69,31 @@ func TestExistingFlagValidationStillExitsTwo(t *testing.T) {
 		t.Fatalf("-samples 0: exit %d, output:\n%s", code, out)
 	}
 }
+
+func TestTargetCIExcludesSamples(t *testing.T) {
+	out, code := runCLI(t, "-target-ci", "0.05", "-samples", "100", "-setup")
+	if code != 2 || !strings.Contains(out, "mutually exclusive") {
+		t.Fatalf("-target-ci with -samples: exit %d, output:\n%s", code, out)
+	}
+}
+
+func TestTargetCIRangeValidated(t *testing.T) {
+	for _, bad := range []string{"0.6", "-0.1"} {
+		out, code := runCLI(t, "-target-ci", bad, "-setup")
+		if code != 2 {
+			t.Errorf("-target-ci %s: exit %d, want usage exit 2\n%s", bad, code, out)
+		}
+		if !strings.Contains(out, "-target-ci must be in (0, 0.5]") {
+			t.Errorf("-target-ci %s: missing validation message:\n%s", bad, out)
+		}
+	}
+}
+
+func TestTargetCIAccepted(t *testing.T) {
+	// A valid -target-ci without -samples parses cleanly; -setup exits 0
+	// before any campaign runs.
+	out, code := runCLI(t, "-target-ci", "0.05", "-setup")
+	if code != 0 || !strings.Contains(out, "Table IV") {
+		t.Fatalf("-target-ci 0.05 -setup: exit %d, output:\n%s", code, out)
+	}
+}

@@ -22,7 +22,13 @@ import (
 // positions a resume — the v1 per-shard sampler draw counter is gone. v2
 // also pins the accelerator config fingerprint and persists the quarantine
 // list of experiments the supervisor removed after framework failures.
-const checkpointVersion = 2
+//
+// v3 (adaptive campaigns): the campaign identity gains TargetCI and every
+// shard carries its adaptive round state (completed rounds, the per-round
+// per-stratum allocation history, and the convergence flag). A v2 cursor is
+// meaningless under round-structured sampling — the same Cursor names a
+// different experiment — so v2 files are rejected instead of misresumed.
+const checkpointVersion = 3
 
 // Cursor addresses the next experiment of a shard inside the campaign's
 // deterministic loop nest: input → fault model (AllIDs order) → layer
@@ -91,6 +97,9 @@ type ShardCheckpoint struct {
 	// Quarantine lists this shard's supervisor-removed experiments, in
 	// cursor order. Resume skips them without re-running.
 	Quarantine []QuarantinedExperiment `json:"quarantine,omitempty"`
+	// Adaptive carries the shard's round state in adaptive (TargetCI)
+	// campaigns: nil in fixed-count campaigns.
+	Adaptive *AdaptiveShardState `json:"adaptive,omitempty"`
 }
 
 // Checkpoint is a resumable snapshot of an in-flight Study. The identity
@@ -107,10 +116,14 @@ type Checkpoint struct {
 	Precision string  `json:"precision"`
 	Tolerance float64 `json:"tolerance"`
 	Samples   int     `json:"samples"`
-	Inputs    int     `json:"inputs"`
-	Seed      int64   `json:"seed"`
-	Shards    int     `json:"shards"`
-	PerLayer  bool    `json:"per_layer,omitempty"`
+	// TargetCI is the adaptive campaign's per-stratum 95% Wilson half-width
+	// target (0 for fixed-count campaigns). Like Samples it is part of the
+	// campaign identity: the round structure is a function of it.
+	TargetCI float64 `json:"target_ci,omitempty"`
+	Inputs   int     `json:"inputs"`
+	Seed     int64   `json:"seed"`
+	Shards   int     `json:"shards"`
+	PerLayer bool    `json:"per_layer,omitempty"`
 	// Experiments is the total completed across shards (convenience).
 	Experiments int `json:"experiments"`
 	// Quarantined is the total quarantine count across shards (convenience).
@@ -128,6 +141,7 @@ func (c *Checkpoint) Matches(cfg *accel.Config, w *model.Workload, opts StudyOpt
 		c.Precision == w.Net.Precision.String() &&
 		c.Tolerance == opts.Tolerance &&
 		c.Samples == opts.Samples &&
+		c.TargetCI == opts.TargetCI &&
 		c.Inputs == opts.Inputs &&
 		c.Seed == opts.Seed &&
 		c.Shards == shards &&
@@ -161,6 +175,7 @@ func NewCheckpoint(cfg *accel.Config, w *model.Workload, opts StudyOptions, shar
 		Precision: w.Net.Precision.String(),
 		Tolerance: opts.Tolerance,
 		Samples:   opts.Samples,
+		TargetCI:  opts.TargetCI,
 		Inputs:    opts.Inputs,
 		Seed:      opts.Seed,
 		Shards:    opts.shards(),
@@ -355,7 +370,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if c.Version != checkpointVersion {
 		return nil, fmt.Errorf("campaign: checkpoint %s has version %d, want %d "+
-			"(v1 checkpoints predate quarantine tracking and cursor-derived sampling; rerun the campaign)",
+			"(v1 predates quarantine tracking and cursor-derived sampling; v2 predates "+
+			"adaptive sampling rounds, so its cursors name different experiments under v3; "+
+			"rerun the campaign)",
 			path, c.Version, checkpointVersion)
 	}
 	return &c, nil

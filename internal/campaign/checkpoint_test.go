@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -99,22 +100,26 @@ func TestCheckpointMatchesVersion(t *testing.T) {
 
 // TestLoadCheckpointVersionRejection: loading an incompatible on-disk version
 // fails with an error that names both versions and tells the operator what to
-// do, instead of silently resuming garbage.
+// do, instead of silently resuming garbage. v2 in particular must be refused:
+// under v3's round-structured adaptive sampling a v2 cursor names a different
+// experiment, so resuming one would silently produce wrong results.
 func TestLoadCheckpointVersionRejection(t *testing.T) {
 	_, _, _, cp := checkpointFixture(t)
-	cp.Version = 1
-	path := filepath.Join(t.TempDir(), "v1.checkpoint.json")
-	if err := cp.Save(path); err != nil {
-		t.Fatal(err)
-	}
-	_, err := LoadCheckpoint(path)
-	if err == nil {
-		t.Fatal("v1 checkpoint loaded without error")
-	}
-	msg := err.Error()
-	for _, want := range []string{"version 1", "want 2", "rerun the campaign"} {
-		if !strings.Contains(msg, want) {
-			t.Errorf("version-rejection error %q does not mention %q", msg, want)
+	for _, version := range []int{1, 2} {
+		cp.Version = version
+		path := filepath.Join(t.TempDir(), "old.checkpoint.json")
+		if err := cp.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(path)
+		if err == nil {
+			t.Fatalf("v%d checkpoint loaded without error", version)
+		}
+		msg := err.Error()
+		for _, want := range []string{fmt.Sprintf("version %d", version), "want 3", "rerun the campaign"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("version-rejection error %q does not mention %q", msg, want)
+			}
 		}
 	}
 }

@@ -59,9 +59,15 @@ type ShardRun struct {
 //     checkpoint is consistent and resumable.
 //   - any other error: a campaign failure (bad configuration, dataset error);
 //     the checkpoint carries the shard's state at the failure boundary.
+//
+// Adaptive campaigns (opts.TargetCI > 0) add one terminal form: a nil error
+// with a checkpoint that is not Done but AdaptiveParked — the shard executed
+// every round its checkpoint records and is waiting at the round barrier for
+// the planner (the in-process barrier loop or a distributed coordinator) to
+// extend its History or finalize it.
 func RunShard(ctx context.Context, cfg *accel.Config, w *model.Workload, opts StudyOptions, run ShardRun) (ShardCheckpoint, error) {
-	if opts.Samples <= 0 || opts.Inputs <= 0 {
-		return ShardCheckpoint{}, fmt.Errorf("campaign: Samples and Inputs must be positive")
+	if err := opts.validate(); err != nil {
+		return ShardCheckpoint{}, err
 	}
 	shards := opts.shards()
 	if run.Index < 0 || run.Index >= shards {

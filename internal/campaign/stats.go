@@ -65,12 +65,49 @@ func (p Proportion) String() string {
 	return fmt.Sprintf("%.4f [%.4f, %.4f] (n=%d)", p.Mean(), lo, hi, p.Trials)
 }
 
-// SamplesFor returns the number of Bernoulli samples needed for a Wilson
-// half-width of at most w at 95% confidence in the worst case (p = 0.5).
+// worstHalfWidth is the largest achievable 95% Wilson half-width at sample
+// size n: the interval is widest when the point estimate sits as close to
+// 0.5 as n integer successes allow.
+func worstHalfWidth(n int) float64 {
+	return Proportion{Successes: n / 2, Trials: n}.HalfWidth()
+}
+
+// SamplesFor returns the smallest number of Bernoulli samples whose
+// worst-case 95% Wilson half-width is at most w.
+//
+// Earlier versions used the normal-approximation sizing n = z²/(4w²), which
+// inverts the *Wald* interval, not the Wilson interval the rest of this
+// package reports: the Wilson interval shrinks by an extra z² in the
+// effective sample size (half-width z/(2·sqrt(n+z²)) at p = 0.5), so the
+// approximation overshoots by about z² ≈ 4 samples at every width and the
+// "needed" count never agreed with the HalfWidth the campaign actually
+// measured. This version inverts HalfWidth exactly: exponential search for
+// an upper bound, binary search for the crossing, then a short backward scan
+// to absorb the odd/even wiggle of the achievable worst case (at odd n the
+// estimate closest to 0.5 is floor(n/2)/n, so worstHalfWidth is not quite
+// monotone step to step).
 func SamplesFor(w float64) int {
 	if w <= 0 {
 		return math.MaxInt32
 	}
-	// Normal-approximation sizing: n = z²/(4w²).
-	return int(math.Ceil(1.96 * 1.96 / (4 * w * w)))
+	hi := 1
+	for worstHalfWidth(hi) > w {
+		if hi >= math.MaxInt32/2 {
+			return math.MaxInt32
+		}
+		hi *= 2
+	}
+	lo := hi / 2 // worstHalfWidth(lo) > w (or lo == 0)
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if worstHalfWidth(mid) <= w {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	for hi > 1 && worstHalfWidth(hi-1) <= w {
+		hi--
+	}
+	return hi
 }

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWilsonReferenceValues checks Wilson(1.96) against hand-computed
+// reference intervals (the standard published Wilson score bounds for small
+// binomial samples), including the p = 0 and p = 1 edges where the interval
+// must clamp to [0, 1].
+func TestWilsonReferenceValues(t *testing.T) {
+	cases := []struct {
+		name   string
+		p      Proportion
+		lo, hi float64
+	}{
+		{"half", Proportion{5, 10}, 0.236598, 0.763402},
+		{"p=0 edge", Proportion{0, 10}, 0, 0.277539},
+		{"low", Proportion{1, 10}, 0.017875, 0.404155},
+		{"p=1 edge", Proportion{10, 10}, 0.722461, 1},
+		{"empty", Proportion{0, 0}, 0, 1},
+		{"single success", Proportion{1, 1}, 0.206543, 1},
+	}
+	const tol = 5e-4
+	for _, tc := range cases {
+		lo, hi := tc.p.Wilson(1.96)
+		if math.Abs(lo-tc.lo) > tol || math.Abs(hi-tc.hi) > tol {
+			t.Errorf("%s: Wilson(%d/%d) = [%.6f, %.6f], want [%.6f, %.6f]",
+				tc.name, tc.p.Successes, tc.p.Trials, lo, hi, tc.lo, tc.hi)
+		}
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%s: interval [%.6f, %.6f] leaves [0,1] or is inverted", tc.name, lo, hi)
+		}
+	}
+}
+
+func TestHalfWidth(t *testing.T) {
+	// No data: the interval is the whole unit line, half-width 0.5.
+	if hw := (Proportion{}).HalfWidth(); hw != 0.5 {
+		t.Errorf("HalfWidth(0/0) = %v, want 0.5", hw)
+	}
+	// The worst case at fixed n is the estimate nearest 0.5.
+	for _, n := range []int{2, 10, 50, 400} {
+		worst := Proportion{n / 2, n}.HalfWidth()
+		for s := 0; s <= n; s++ {
+			if hw := (Proportion{s, n}).HalfWidth(); hw > worst+1e-12 {
+				t.Fatalf("HalfWidth(%d/%d) = %v exceeds the p≈0.5 worst case %v", s, n, hw, worst)
+			}
+		}
+	}
+	// More data never widens the worst case by more than the odd/even wiggle;
+	// across even sample sizes it is strictly decreasing.
+	prev := math.Inf(1)
+	for n := 2; n <= 1000; n += 2 {
+		hw := worstHalfWidth(n)
+		if hw >= prev {
+			t.Fatalf("worstHalfWidth(%d) = %v did not decrease from %v", n, hw, prev)
+		}
+		prev = hw
+	}
+}
+
+// TestSamplesForExactInversion: SamplesFor must return the smallest n whose
+// worst-case Wilson half-width meets the target — the defining property of
+// the exact inversion that replaced the normal-approximation formula.
+func TestSamplesForExactInversion(t *testing.T) {
+	for _, w := range []float64{0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005} {
+		n := SamplesFor(w)
+		if n < 1 {
+			t.Fatalf("SamplesFor(%g) = %d", w, n)
+		}
+		if hw := worstHalfWidth(n); hw > w {
+			t.Errorf("SamplesFor(%g) = %d, but worstHalfWidth(%d) = %v > %g", w, n, n, hw, w)
+		}
+		if n > 1 {
+			if hw := worstHalfWidth(n - 1); hw <= w {
+				t.Errorf("SamplesFor(%g) = %d is not minimal: worstHalfWidth(%d) = %v <= %g",
+					w, n, n-1, hw, w)
+			}
+		}
+	}
+}
+
+func TestSamplesForAgainstNormalApprox(t *testing.T) {
+	// The Wilson interval's effective sample size is n + z², so the exact
+	// inversion lands about z² ≈ 3.84 samples under the Wald-based
+	// approximation n = z²/(4w²) — never above it.
+	for _, w := range []float64{0.1, 0.05, 0.02, 0.01} {
+		exact := SamplesFor(w)
+		approx := int(math.Ceil(1.96 * 1.96 / (4 * w * w)))
+		if exact > approx {
+			t.Errorf("SamplesFor(%g) = %d exceeds the normal approximation %d", w, exact, approx)
+		}
+		if approx-exact > 6 {
+			t.Errorf("SamplesFor(%g) = %d is implausibly far below the approximation %d", w, exact, approx)
+		}
+	}
+	// Degenerate targets: unreachable width.
+	if got := SamplesFor(0); got != math.MaxInt32 {
+		t.Errorf("SamplesFor(0) = %d, want MaxInt32", got)
+	}
+	if got := SamplesFor(-0.1); got != math.MaxInt32 {
+		t.Errorf("SamplesFor(-0.1) = %d, want MaxInt32", got)
+	}
+}

@@ -41,6 +41,16 @@ type StudyOptions struct {
 	// fault model (the paper uses statistically significant counts; the
 	// Wilson half-width of the masking estimates is reported).
 	Samples int
+	// TargetCI switches the campaign to adaptive stratified sampling:
+	// instead of a fixed Samples per fault model, every (layer, fault-model)
+	// stratum runs until its masking estimate's 95% Wilson half-width is at
+	// most TargetCI (or the worst-case bound SamplesFor(TargetCI) is spent).
+	// Mutually exclusive with Samples; must be in (0, 0.5]. Experiments run
+	// in rounds planned only at shard barriers from merged tallies in
+	// canonical stratum order, so results stay a pure function of (Seed,
+	// Shards, TargetCI) — never of Workers. Part of the campaign's
+	// checkpoint identity (format v3).
+	TargetCI float64
 	// Inputs is the number of distinct dataset inputs to rotate through.
 	Inputs int
 	// Tolerance is the score tolerance for BLEU/detection metrics (0.1 or
@@ -172,6 +182,30 @@ func (o StudyOptions) shards() int {
 	return DefaultShards
 }
 
+// validate rejects inconsistent sampling options: exactly one of Samples
+// (fixed-count) and TargetCI (adaptive) must drive the campaign.
+func (o StudyOptions) validate() error {
+	if o.TargetCI > 0 {
+		if o.Samples != 0 {
+			return fmt.Errorf("campaign: Samples and TargetCI are mutually exclusive")
+		}
+		if o.TargetCI > 0.5 {
+			return fmt.Errorf("campaign: TargetCI must be in (0, 0.5], got %v", o.TargetCI)
+		}
+		if o.Inputs <= 0 {
+			return fmt.Errorf("campaign: Inputs must be positive")
+		}
+		return nil
+	}
+	if o.TargetCI < 0 {
+		return fmt.Errorf("campaign: TargetCI must be in (0, 0.5], got %v", o.TargetCI)
+	}
+	if o.Samples <= 0 || o.Inputs <= 0 {
+		return fmt.Errorf("campaign: Samples and Inputs must be positive")
+	}
+	return nil
+}
+
 // experimentBatch returns the resolved batch window (1 = unbatched).
 func (o StudyOptions) experimentBatch() int {
 	switch {
@@ -284,6 +318,7 @@ type shardState struct {
 	perturb      PerturbationStats
 	experiments  int
 	cursor       Cursor
+	adaptive     *AdaptiveShardState // round state; nil in fixed-count campaigns
 	quarantine   []QuarantinedExperiment
 	quarantined  map[Cursor]bool
 	failures     int // quarantines charged to this run's failure budget
@@ -340,6 +375,7 @@ func (sh *shardState) restore(sc ShardCheckpoint) {
 			}
 		}
 	}
+	sh.adaptive = sc.Adaptive.clone()
 	sh.quarantine = append([]QuarantinedExperiment(nil), sc.Quarantine...)
 	if len(sh.quarantine) > 0 {
 		sh.quarantined = make(map[Cursor]bool, len(sh.quarantine))
@@ -363,6 +399,7 @@ func (sh *shardState) publish(cur Cursor) {
 		Perturb:     sh.perturb,
 		Masked:      make(map[faultmodel.ID]Proportion, len(sh.masked)),
 		Quarantine:  append([]QuarantinedExperiment(nil), sh.quarantine...),
+		Adaptive:    sh.adaptive.clone(),
 	}
 	for id, p := range sh.masked {
 		sc.Masked[id] = *p
@@ -614,17 +651,19 @@ type batchEntry struct {
 }
 
 // stepBatch supervises a window of n consecutive flat-mode experiments
-// starting at *cur. The window's experiments are pre-drawn (each target is
-// predicted from its cursor-derived stream without touching the live
-// sampler), stable-sorted by target execution so same-site experiments run
-// back to back against one golden prefix and a warm arena working set, and
-// executed in that grouped order. Shard state mutates only in the commit
+// starting at *cur, whose sample indices step by stride (1 in fixed-count
+// campaigns; adaptive campaigns batch one input lane at a time, whose
+// samples are Inputs apart). The window's experiments are pre-drawn (each
+// target is predicted from its cursor-derived stream without touching the
+// live sampler), stable-sorted by target execution so same-site experiments
+// run back to back against one golden prefix and a warm arena working set,
+// and executed in that grouped order. Shard state mutates only in the commit
 // phase, in cursor order — so tallies, quarantine lists, failure-budget
 // accounting and published checkpoints evolve exactly as n sequential steps
 // would, and a cancellation mid-execution discards the partial batch and
 // publishes the batch-start boundary. On success *cur advances past the
 // window.
-func (sh *shardState) stepBatch(ctx context.Context, cur *Cursor, id faultmodel.ID, n int) error {
+func (sh *shardState) stepBatch(ctx context.Context, cur *Cursor, id faultmodel.ID, n, stride int) error {
 	start := *cur
 	if err := ctx.Err(); err != nil {
 		sh.cursor = start
@@ -642,7 +681,7 @@ func (sh *shardState) stepBatch(ctx context.Context, cur *Cursor, id faultmodel.
 	order := make([]*batchEntry, 0, n)
 	for i := range entries {
 		c := start
-		c.Sample += i
+		c.Sample += i * stride
 		entries[i].cur = c
 		if sh.quarantined[c] {
 			entries[i].skip = true
@@ -708,15 +747,24 @@ func (sh *shardState) stepBatch(ctx context.Context, cur *Cursor, id faultmodel.
 			return ErrShardExhausted
 		}
 	}
-	cur.Sample += n
+	cur.Sample += n * stride
 	return nil
 }
 
 // run executes the shard's slice of the experiment space from its cursor.
 // On context cancellation it publishes a consistent snapshot and returns the
 // context's error; ErrShardExhausted degrades the shard; any other error is
-// a campaign failure.
+// a campaign failure. Adaptive campaigns may also return nil with the shard
+// not done: parked at a round barrier, waiting for the planner.
 func (sh *shardState) run(ctx context.Context) error {
+	if sh.opts.TargetCI > 0 {
+		return sh.runAdaptive(ctx)
+	}
+	return sh.runFixed(ctx)
+}
+
+// runFixed is the fixed-count (Samples) campaign loop.
+func (sh *shardState) runFixed(ctx context.Context) error {
 	opts := sh.opts
 	shards := opts.shards()
 	ids := faultmodel.AllIDs()
@@ -778,7 +826,7 @@ func (sh *shardState) run(ctx context.Context) error {
 				if rem := mine - cur.Sample; n > rem {
 					n = rem
 				}
-				if err := sh.stepBatch(ctx, &cur, id, n); err != nil {
+				if err := sh.stepBatch(ctx, &cur, id, n, 1); err != nil {
 					return err
 				}
 			}
@@ -788,6 +836,38 @@ func (sh *shardState) run(ctx context.Context) error {
 	sh.cursor = Cursor{Input: opts.Inputs}
 	sh.publish(sh.cursor)
 	return nil
+}
+
+// dispatchShards runs every not-yet-done shard state through a pool of
+// workers. Workers pull whole logical shards, so the partition of
+// experiments onto random streams never depends on the worker count. On
+// cancellation, shards still queued keep their initial (resumable)
+// published state.
+func dispatchShards(ctx context.Context, states []*shardState, workers int) {
+	jobs := make(chan *shardState)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sh := range jobs {
+				if sh.done {
+					continue
+				}
+				sh.err = sh.run(ctx)
+			}
+		}()
+	}
+feed:
+	for _, sh := range states {
+		select {
+		case jobs <- sh:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // assembleCheckpoint collects every shard's last published snapshot into one
@@ -825,8 +905,8 @@ func phaseEnd(tel *telemetry.Collector, name string) {
 // which opts.Resume continues the study to the identical StudyResult an
 // uninterrupted run would have produced.
 func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts StudyOptions) (*StudyResult, error) {
-	if opts.Samples <= 0 || opts.Inputs <= 0 {
-		return nil, fmt.Errorf("campaign: Samples and Inputs must be positive")
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	tel := opts.Telemetry
 	models, err := faultmodel.Derive(cfg)
@@ -896,32 +976,11 @@ func Study(ctx context.Context, cfg *accel.Config, w *model.Workload, opts Study
 	}
 	phaseStart(tel, "inject")
 	tilesBase := nn.TileCount()
-	jobs := make(chan *shardState)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for sh := range jobs {
-				if sh.done {
-					continue
-				}
-				sh.err = sh.run(ctx)
-			}
-		}()
+	if opts.TargetCI > 0 {
+		runAdaptiveCampaign(ctx, states, workers, StrataFor(opts.PerLayer, len(execs)), opts)
+	} else {
+		dispatchShards(ctx, states, workers)
 	}
-	// Stop feeding on cancellation: shards still queued keep their initial
-	// (resumable) published state.
-feed:
-	for _, sh := range states {
-		select {
-		case jobs <- sh:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
 	phaseEnd(tel, "inject")
 	if tel != nil {
 		// Tile counts are process-wide; the delta attributes this study's

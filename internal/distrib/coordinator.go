@@ -150,6 +150,11 @@ type Coordinator struct {
 	statePath string
 	audit     float64
 	tel       *telemetry.Collector
+	// strata is the adaptive campaign's canonical stratum order (nil for
+	// fixed-count campaigns). The coordinator is the campaign's planner:
+	// shards never plan, they replay the round history it records in their
+	// checkpoints, so distributed results stay byte-identical to in-process.
+	strata []campaign.Stratum
 
 	mu       sync.Mutex
 	table    *leaseTable
@@ -159,6 +164,9 @@ type Coordinator struct {
 	draining bool
 	done     chan struct{}
 	doneOnce sync.Once
+	// strataSnap is the latest round barrier's per-stratum telemetry block,
+	// attached to Status (coordinator-side planner state, not worker-merged).
+	strataSnap *telemetry.StrataSnapshot
 }
 
 // NewCoordinator builds a coordinator for o.Spec. If o.StatePath names an
@@ -202,6 +210,11 @@ func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 	}
 	c.table = c.newTable(ttl)
 	c.opts.Telemetry = o.Telemetry
+	if spec.TargetCI > 0 {
+		if c.strata, err = campaign.CampaignStrata(w, c.opts); err != nil {
+			return nil, err
+		}
+	}
 	if c.statePath != "" {
 		if _, err := os.Stat(c.statePath); err == nil {
 			if err := c.load(); err != nil {
@@ -226,6 +239,9 @@ func NewCoordinator(o CoordinatorOptions) (*Coordinator, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A restored adaptive campaign may have persisted with every shard parked
+	// at the barrier; plan the next round before anything is leased.
+	c.advanceRoundLocked()
 	c.maybeFinishLocked()
 	if c.result == nil && c.failure == nil && c.statePath != "" {
 		if err := c.persistLocked(); err != nil {
@@ -295,6 +311,8 @@ func (c *Coordinator) load() error {
 			e.status = shardDegraded
 		case sc.Done:
 			e.status = shardDone
+		case reported[i] && campaign.AdaptiveParked(sc):
+			e.status = shardWaiting
 		default:
 			e.status = shardPending
 		}
@@ -335,12 +353,21 @@ func (c *Coordinator) load() error {
 			e.auditWorker, e.auditSum = m.AuditWorker, m.AuditSum
 		case "pending":
 			e.audit = auditPending
+			if e.ckpt.Adaptive != nil {
+				// Adaptive audits replay the recorded history from empty
+				// tallies (never persisted mid-flight; rebuild the resume
+				// state the audit lease hands out).
+				e.auditCkpt = campaign.AdaptiveAuditResume(i, e.ckpt.Adaptive.History)
+			}
 		default:
 			// No audit record (legacy file, or audit enabled after the
 			// shard completed): sample it now so the audit policy holds
 			// across restarts.
 			if c.table.auditFor != nil && c.table.auditFor(i) {
 				e.audit = auditPending
+				if e.ckpt.Adaptive != nil {
+					e.auditCkpt = campaign.AdaptiveAuditResume(i, e.ckpt.Adaptive.History)
+				}
 			}
 		}
 	}
@@ -349,7 +376,9 @@ func (c *Coordinator) load() error {
 			continue
 		}
 		e := &c.table.shards[pl.Shard]
-		if e.status.terminal() {
+		if e.status != shardPending {
+			// Terminal shards never revert to leased, and a waiting shard's
+			// lease already ended with the parked final report.
 			continue
 		}
 		e.status = shardLeased
@@ -418,6 +447,82 @@ func (c *Coordinator) persistLocked() error {
 		return fmt.Errorf("distrib: persist state: %w", err)
 	}
 	return nil
+}
+
+// advanceRoundLocked is the adaptive campaign's round barrier, mirroring the
+// in-process runAdaptiveCampaign loop: once every shard is parked (waiting)
+// or terminal, merge the accepted checkpoints' tallies in canonical stratum
+// order and either record the next Neyman allocation in every waiting shard's
+// history (returning them to the lease pool) or finalize them in the
+// canonical done form. All planning floats are evaluated here and nowhere
+// else, so any worker fleet replays identical rounds. Callers hold c.mu.
+func (c *Coordinator) advanceRoundLocked() {
+	if c.spec.TargetCI <= 0 || c.finishedLocked() {
+		return
+	}
+	waiting := 0
+	for i := range c.table.shards {
+		switch c.table.shards[i].status {
+		case shardWaiting:
+			waiting++
+		case shardDone, shardDegraded:
+		default:
+			return // a leased or pending shard has not reached the barrier
+		}
+	}
+	if waiting == 0 {
+		return
+	}
+	ckpts := make([]campaign.ShardCheckpoint, len(c.table.shards))
+	for i := range c.table.shards {
+		if e := &c.table.shards[i]; e.ckpt != nil {
+			ckpts[i] = *e.ckpt
+		} else {
+			ckpts[i] = campaign.NewShardCheckpoint(i)
+		}
+	}
+	history := campaign.AdaptiveHistory(ckpts)
+	tallies := campaign.StrataTallies(c.strata, ckpts)
+	next, converged := campaign.PlanRound(c.strata, history, tallies, c.spec.TargetCI)
+	snap := campaign.StrataTelemetry(c.strata, tallies, history, c.spec.TargetCI)
+	c.strataSnap = &snap
+	if c.tel != nil {
+		c.tel.SetStrata(snap)
+	}
+	if converged {
+		for i := range c.table.shards {
+			e := &c.table.shards[i]
+			if e.status != shardWaiting {
+				continue
+			}
+			// Synthesize the canonical done form — the exact bytes the shard
+			// itself would publish had it known the campaign was converged —
+			// and seal it like any accepted final checkpoint.
+			campaign.FinalizeAdaptiveShard(e.ckpt, c.spec.Inputs)
+			e.status = shardDone
+			if sum, err := digestJSON(e.ckpt); err == nil {
+				e.sum = sum
+				if c.table.auditFor != nil && c.table.auditFor(i) {
+					e.audit = auditPending
+					//lint:allow wallclock audit self-fallback gating is wall-clock liveness, not campaign identity
+					e.auditSince = time.Now()
+					// Audit re-runs replay the full recorded history from
+					// empty tallies; a from-scratch resume would just park.
+					e.auditCkpt = campaign.AdaptiveAuditResume(i, e.ckpt.Adaptive.History)
+				}
+			}
+		}
+		return
+	}
+	newHist := append(campaign.CloneHistory(history), next)
+	for i := range c.table.shards {
+		e := &c.table.shards[i]
+		if e.status != shardWaiting {
+			continue
+		}
+		e.ckpt.Adaptive.History = campaign.CloneHistory(newHist)
+		e.status = shardPending
+	}
 }
 
 // maybeFinishLocked assembles the StudyResult once every shard is terminal
@@ -545,9 +650,10 @@ func (c *Coordinator) Status() StatusReply {
 		snaps = append(snaps, c.workers[id])
 	}
 	st.Telemetry = telemetry.Merge("coordinator", snaps...)
-	// The audit summary is coordinator-side state, not worker-reported:
-	// attach it to the merged view directly.
+	// The audit summary and adaptive strata are coordinator-side state, not
+	// worker-reported: attach them to the merged view directly.
 	st.Telemetry.Audit = c.table.auditSnapshot()
+	st.Telemetry.Strata = c.strataSnap
 	return st
 }
 
@@ -625,6 +731,10 @@ func (c *Coordinator) handleReport(rw http.ResponseWriter, r *http.Request) {
 	//lint:allow wallclock lease TTL is wall-clock liveness (DESIGN.md §6), not campaign identity
 	ok := c.table.report(&req, time.Now())
 	if ok {
+		// A parked final report may complete the round barrier: plan the next
+		// round (or finalize) before persisting, so the state file always
+		// reflects the post-barrier table.
+		c.advanceRoundLocked()
 		advanced := prev == nil || prev.Experiments != req.Shard.Experiments || prev.Cursor != req.Shard.Cursor
 		if req.Final || advanced {
 			if err := c.persistLocked(); err != nil {

@@ -21,6 +21,11 @@ const (
 	// shardDegraded: a final report marked it exhausted (failure budget
 	// spent). Terminal, but the assembled result will be Partial.
 	shardDegraded
+	// shardWaiting: an adaptive-campaign shard parked at the round barrier
+	// (campaign.AdaptiveParked): every recorded round executed, held out of
+	// the lease pool until the coordinator's planner extends its history
+	// (back to shardPending) or finalizes it (shardDone).
+	shardWaiting
 )
 
 func (s shardStatus) terminal() bool { return s == shardDone || s == shardDegraded }
@@ -204,6 +209,13 @@ func (t *leaseTable) report(req *ReportRequest, now time.Time) bool {
 				e.auditSince = now
 			}
 		}
+	case campaign.AdaptiveParked(req.Shard):
+		// Parked at the adaptive round barrier: hold the shard out of the
+		// lease pool (re-leasing it would run zero experiments and park
+		// again). The coordinator's planner moves it on once every shard
+		// reaches the barrier.
+		e.status = shardWaiting
+		e.worker = req.Worker
 	default:
 		// A final report that neither completed nor degraded the shard:
 		// the worker gave the lease back. Re-issue from its checkpoint.
@@ -330,6 +342,8 @@ func (t *leaseTable) counts() (ShardCounts, int) {
 			}
 		case shardDegraded:
 			c.Degraded++
+		case shardWaiting:
+			c.Waiting++
 		}
 		if t.shards[i].ckpt != nil {
 			exps += t.shards[i].ckpt.Experiments

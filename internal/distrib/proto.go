@@ -48,10 +48,15 @@ type CampaignSpec struct {
 	// inputs, sampling seed, shard count, per-layer mode.
 	Tolerance float64 `json:"tolerance"`
 	Samples   int     `json:"samples"`
-	Inputs    int     `json:"inputs"`
-	Seed      int64   `json:"seed"`
-	Shards    int     `json:"shards"`
-	PerLayer  bool    `json:"per_layer,omitempty"`
+	// TargetCI switches the campaign to adaptive stratified sampling
+	// (campaign.StudyOptions.TargetCI): rounds are planned by the coordinator
+	// at shard barriers, so the adaptive identity (Seed, Shards, TargetCI)
+	// replaces Samples. Mutually exclusive with Samples; in (0, 0.5].
+	TargetCI float64 `json:"target_ci,omitempty"`
+	Inputs   int     `json:"inputs"`
+	Seed     int64   `json:"seed"`
+	Shards   int     `json:"shards"`
+	PerLayer bool    `json:"per_layer,omitempty"`
 	// Execution knobs that do not affect results.
 	DisableReplay bool `json:"disable_replay,omitempty"`
 	// ExperimentBatch is the shard loop's site-grouped batch window
@@ -85,7 +90,16 @@ func (s CampaignSpec) Validate() error {
 	if s.Workload == "" {
 		return fmt.Errorf("distrib: spec names no workload")
 	}
-	if s.Samples <= 0 {
+	if s.TargetCI > 0 {
+		if s.Samples != 0 {
+			return fmt.Errorf("distrib: samples and target_ci are mutually exclusive")
+		}
+		if s.TargetCI > 0.5 {
+			return fmt.Errorf("distrib: target_ci must be in (0, 0.5] (got %g)", s.TargetCI)
+		}
+	} else if s.TargetCI < 0 {
+		return fmt.Errorf("distrib: target_ci must be in (0, 0.5] (got %g)", s.TargetCI)
+	} else if s.Samples <= 0 {
 		return fmt.Errorf("distrib: samples must be positive (got %d)", s.Samples)
 	}
 	if s.Inputs <= 0 {
@@ -106,6 +120,7 @@ func (s CampaignSpec) Validate() error {
 func (s CampaignSpec) Options() campaign.StudyOptions {
 	return campaign.StudyOptions{
 		Samples:           s.Samples,
+		TargetCI:          s.TargetCI,
 		Inputs:            s.Inputs,
 		Tolerance:         s.Tolerance,
 		Seed:              s.Seed,
@@ -218,6 +233,10 @@ type ShardCounts struct {
 	// resolved yet; they move to Done (or fail the audit) when it does.
 	Auditing int `json:"auditing,omitempty"`
 	Degraded int `json:"degraded,omitempty"`
+	// Waiting counts adaptive-campaign shards parked at the round barrier:
+	// every recorded round executed, held out of the lease pool until the
+	// planner extends or finalizes them.
+	Waiting int `json:"waiting,omitempty"`
 }
 
 // StatusReply answers GET /v1/status.

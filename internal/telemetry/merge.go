@@ -92,6 +92,14 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 			haveKer = true
 			ker.Tiles += k.Tiles
 		}
+		// Strata is planner state, not a counter: every constituent carrying
+		// it saw the same barrier sequence, so keep the most advanced view
+		// rather than summing.
+		if st := s.Strata; st != nil && (m.Strata == nil || st.Rounds > m.Strata.Rounds) {
+			cp := *st
+			cp.Strata = append([]StratumState(nil), st.Strata...)
+			m.Strata = &cp
+		}
 	}
 	if m.ElapsedSec > 0 {
 		m.PerSec = float64(m.Experiments) / m.ElapsedSec

@@ -58,6 +58,12 @@ type Collector struct {
 	// kernelTiles counts compute-kernel tiles executed by the tiled
 	// Conv2D/Dense/MatMul kernels during the campaign's inject phase.
 	kernelTiles atomic.Int64
+
+	// strata is the adaptive campaign's latest per-stratum view, replaced
+	// wholesale at each shard-barrier round by the planner (SetStrata). Nil
+	// for fixed-count campaigns.
+	strataMu sync.Mutex
+	strata   *StrataSnapshot
 }
 
 // Outcomes tallies experiment classifications for one fault model.
@@ -325,6 +331,38 @@ type KernelSnapshot struct {
 	Tiles int64 `json:"tiles"`
 }
 
+// StratumState is one adaptive-sampling stratum's view at a round barrier:
+// its merged tally across all shards, the resulting Wilson interval, and
+// whether the planner has stopped allocating to it.
+type StratumState struct {
+	// Model is the fault model's short name; Exec is the execution (layer)
+	// index, or -1 for a stratum not split per layer.
+	Model     string  `json:"model"`
+	Exec      int     `json:"exec"`
+	N         int     `json:"n"`
+	Mean      float64 `json:"mean"`
+	HalfWidth float64 `json:"half_width"`
+	Stopped   bool    `json:"stopped,omitempty"`
+}
+
+// StrataSnapshot reports an adaptive campaign's per-stratum progress as of
+// the most recent shard-barrier round: how many rounds have been planned,
+// the target half-width, and every stratum's state in canonical (model-major,
+// execution-minor) order.
+type StrataSnapshot struct {
+	Rounds   int            `json:"rounds"`
+	TargetCI float64        `json:"target_ci"`
+	Strata   []StratumState `json:"strata"`
+}
+
+// SetStrata publishes the adaptive planner's per-stratum state computed at a
+// shard-barrier round, replacing any previous snapshot.
+func (c *Collector) SetStrata(s StrataSnapshot) {
+	c.strataMu.Lock()
+	c.strata = &s
+	c.strataMu.Unlock()
+}
+
 // PhaseSnapshot reports one phase's accumulated wall-clock time.
 type PhaseSnapshot struct {
 	Name    string  `json:"name"`
@@ -363,6 +401,9 @@ type Snapshot struct {
 	// Kernels is present only when kernel tile counts were attributed to
 	// this collector.
 	Kernels *KernelSnapshot `json:"kernels,omitempty"`
+	// Strata is present only on adaptive campaigns (StudyOptions.TargetCI >
+	// 0): the per-stratum state as of the most recent planning round.
+	Strata *StrataSnapshot `json:"strata,omitempty"`
 }
 
 // Snapshot captures the current counters. Model keys are sorted into a map
@@ -441,6 +482,13 @@ func (c *Collector) Snapshot() Snapshot {
 	if tiles := c.kernelTiles.Load(); tiles > 0 {
 		s.Kernels = &KernelSnapshot{Tiles: tiles}
 	}
+	c.strataMu.Lock()
+	if st := c.strata; st != nil {
+		cp := *st
+		cp.Strata = append([]StratumState(nil), st.Strata...)
+		s.Strata = &cp
+	}
+	c.strataMu.Unlock()
 	c.mu.Lock()
 	for _, p := range c.phases {
 		total := p.total
