@@ -10,7 +10,7 @@ GOVULNCHECK_VERSION ?= v1.1.4
 # Coordinator address used by the `work` convenience target.
 COORDINATOR ?= http://127.0.0.1:9090
 
-.PHONY: build test race chaos chaos-distrib bench bench-json fmt vet fidelitylint lint verify serve work e2e-distrib ci
+.PHONY: build test race chaos chaos-distrib bench bench-json fmt vet fidelitylint lint verify serve work e2e-distrib harden e2e-harden ci
 
 build:
 	$(GO) build ./...
@@ -49,8 +49,9 @@ bench:
 # Measure the paired benchmarks and export them as benchstat-compatible JSON
 # artifacts (per-workload ns/op + allocs/op, speedups, and the geomean):
 # replay-vs-full per injection (BENCH_inject.json), optimized-vs-baseline per
-# campaign (BENCH_campaign.json), and adaptive-vs-fixed experiment counts at
-# equal Wilson CI (BENCH_adaptive.json). CI uploads all three.
+# campaign (BENCH_campaign.json), adaptive-vs-fixed experiment counts at
+# equal Wilson CI (BENCH_adaptive.json), and hardened-vs-baseline FIT
+# (BENCH_harden.json). CI uploads all four.
 bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkInjectionReplay$$' -benchmem . > bench_inject.txt
 	$(GO) run ./cmd/benchjson -o BENCH_inject.json < bench_inject.txt
@@ -61,6 +62,9 @@ bench-json:
 	$(GO) test -run '^$$' -bench '^BenchmarkAdaptive$$' -timeout 60m . > bench_adaptive.txt
 	$(GO) run ./cmd/benchjson -o BENCH_adaptive.json < bench_adaptive.txt
 	@rm -f bench_adaptive.txt
+	$(GO) test -run '^$$' -bench '^BenchmarkHarden$$' -timeout 60m . > bench_harden.txt
+	$(GO) run ./cmd/benchjson -o BENCH_harden.json < bench_harden.txt
+	@rm -f bench_harden.txt
 
 # Regenerate the benchmark artifacts into *.new.json and gate them against
 # the committed baselines: fail if either geomean speedup regressed by more
@@ -69,11 +73,13 @@ bench-gate:
 	cp BENCH_inject.json BENCH_inject.base.json
 	cp BENCH_campaign.json BENCH_campaign.base.json
 	cp BENCH_adaptive.json BENCH_adaptive.base.json
+	cp BENCH_harden.json BENCH_harden.base.json
 	$(MAKE) bench-json
 	$(GO) run ./cmd/benchjson/benchgate -old BENCH_inject.base.json -new BENCH_inject.json
 	$(GO) run ./cmd/benchjson/benchgate -old BENCH_campaign.base.json -new BENCH_campaign.json
 	$(GO) run ./cmd/benchjson/benchgate -old BENCH_adaptive.base.json -new BENCH_adaptive.json
-	@rm -f BENCH_inject.base.json BENCH_campaign.base.json BENCH_adaptive.base.json
+	$(GO) run ./cmd/benchjson/benchgate -old BENCH_harden.base.json -new BENCH_harden.json
+	@rm -f BENCH_inject.base.json BENCH_campaign.base.json BENCH_adaptive.base.json BENCH_harden.base.json
 
 fmt:
 	@diff=$$(gofmt -l .); \
@@ -125,6 +131,19 @@ work:
 # at 1/2/4 workers, killed-worker lease recovery, coordinator restart.
 e2e-distrib:
 	$(GO) test -race -count=1 -run 'TestDistrib' ./internal/distrib/
+
+# The closed hardening loop (README "Hardening", DESIGN.md §11): baseline
+# campaign → golden-envelope clamps → re-campaign → recommendation, emitting
+# a before/after FIT report as JSON. HARDEN_FLAGS overrides the defaults.
+harden:
+	$(GO) run ./cmd/fidelity harden $(HARDEN_FLAGS)
+
+# The hardening end-to-end suite under -race: golden bit-identity with clamps
+# installed, byte-identical hardened campaigns at 1/2/4 workers and replay
+# on/off, interrupt/resume with the hardening checkpoint identity, and the
+# full pipeline meeting the ASIL-D budget. Mirrors CI's harden-e2e job.
+e2e-harden:
+	$(GO) test -race -count=1 ./internal/harden/
 
 # The fast pre-commit gate: format, vet, the repo's own invariant checkers,
 # build, test. Everything here runs offline.

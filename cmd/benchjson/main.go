@@ -6,6 +6,7 @@
 //	BenchmarkInjectionReplay/<workload>/{replay,full}      -> BENCH_inject.json
 //	BenchmarkCampaign/<workload>/{optimized,baseline}      -> BENCH_campaign.json
 //	BenchmarkAdaptive/<workload>/{adaptive,fixed}          -> BENCH_adaptive.json
+//	BenchmarkHarden/<workload>/{hardened,baseline}         -> BENCH_harden.json
 //
 // Usage:
 //
@@ -77,6 +78,10 @@ var pairSpecs = []struct {
 	// so this pair's "speedup" is the fixed/adaptive experiment ratio at
 	// equal Wilson-CI resolution.
 	{"BenchmarkAdaptive/", "adaptive", "fixed"},
+	// BenchmarkHarden reports the global-control-protected micro-FIT as its
+	// ns/op value, so this pair's "speedup" is the baseline/hardened FIT
+	// ratio — the reduction range-restriction clamps buy.
+	{"BenchmarkHarden/", "hardened", "baseline"},
 }
 
 var benchLine = regexp.MustCompile(

@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"fidelity/internal/accel"
 	"fidelity/internal/campaign"
 	"fidelity/internal/core"
+	hardenpkg "fidelity/internal/harden"
 	"fidelity/internal/numerics"
 	"fidelity/internal/report"
 	"fidelity/internal/reuse"
@@ -54,6 +56,8 @@ func main() {
 		err = census()
 	case "sensitivity":
 		err = sensitivity(ctx, args)
+	case "harden":
+		err = harden(ctx, args)
 	default:
 		usage()
 		os.Exit(2)
@@ -73,13 +77,14 @@ func main() {
 var errPartial = errors.New("partial result (a shard exhausted its failure budget)")
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fidelity <table1|table2|fig2|census|sensitivity> [flags]
+	fmt.Fprintln(os.Stderr, `usage: fidelity <table1|table2|fig2|census|sensitivity|harden> [flags]
 
   table1       print the Reuse Factor Analysis summary (paper Table I)
   table2       print the derived NVDLA software fault models (paper Table II)
   fig2         run the Fig 2 reuse-factor examples (NVDLA-like and Eyeriss-like)
   census       print the FF census of the NVDLA-small configuration
-  sensitivity  FIT bounds under perturbed FF-count/activeness estimates`)
+  sensitivity  FIT bounds under perturbed FF-count/activeness estimates
+  harden       closed hardening loop: campaign -> rank -> mitigate -> re-measure`)
 }
 
 func framework() (*core.Framework, error) {
@@ -225,6 +230,71 @@ func sensitivity(ctx context.Context, args []string) error {
 		return fmt.Errorf("%s: %w (%d experiments quarantined)", *net, errPartial, len(res.Quarantined))
 	}
 	return nil
+}
+
+// harden runs the closed mitigation loop of internal/harden: measure the
+// unhardened network per layer, derive and install golden-envelope clamps,
+// re-measure the hardened network under the identical campaign (its own
+// checkpoint identity), search duplication × global-control protection for
+// the cheapest config meeting the budget, and emit the before/after FIT
+// report as JSON.
+func harden(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("harden", flag.ExitOnError)
+	net := fs.String("net", "mobilenet", "workload to harden")
+	samples := fs.Int("samples", 20, "experiments per fault model per layer execution")
+	inputs := fs.Int("inputs", 2, "inputs per campaign (also the activation-profile set)")
+	seed := fs.Int64("seed", 1, "campaign sampling seed")
+	budget := fs.Float64("budget", 0, "FIT budget (0 = area-apportioned ASIL-D FF budget)")
+	workers := fs.Int("workers", runtime.NumCPU(), "worker goroutines (results are worker-count independent)")
+	out := fs.String("o", "", "write the JSON report to a file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *samples <= 0 {
+		fmt.Fprintf(os.Stderr, "fidelity: -samples must be positive (got %d)\n", *samples)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *inputs <= 0 {
+		fmt.Fprintf(os.Stderr, "fidelity: -inputs must be positive (got %d)\n", *inputs)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *budget < 0 {
+		fmt.Fprintf(os.Stderr, "fidelity: -budget must be non-negative (got %g)\n", *budget)
+		fs.Usage()
+		os.Exit(2)
+	}
+	rep, err := hardenpkg.Run(ctx, accel.NVDLASmall(), hardenpkg.Options{
+		Net:       *net,
+		Precision: numerics.FP16,
+		Samples:   *samples,
+		Inputs:    *inputs,
+		Tolerance: 0.1,
+		Seed:      *seed,
+		Workers:   *workers,
+		Budget:    *budget,
+	})
+	if err != nil {
+		if rep != nil && rep.Partial {
+			err = fmt.Errorf("%s: %w", *net, errPartial)
+		}
+		if rep == nil {
+			return err
+		}
+	}
+	if *out == "" {
+		enc, merr := json.MarshalIndent(rep, "", "  ")
+		if merr != nil {
+			return merr
+		}
+		os.Stdout.Write(append(enc, '\n'))
+	} else if werr := campaign.AtomicWriteJSON(*out, rep); werr != nil {
+		return werr
+	}
+	fmt.Fprintf(os.Stderr, "fidelity: %s FIT %.3f -> %.3f hardened (budget %.3f, meets=%v, dup time share %.1f%%)\n",
+		*net, rep.Before.FIT, rep.HardenedFIT, rep.BudgetFIT, rep.MeetsASILD, rep.DupTimeShare*100)
+	return err
 }
 
 func verdict(lo float64) string {

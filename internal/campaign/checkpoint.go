@@ -124,6 +124,11 @@ type Checkpoint struct {
 	Seed     int64   `json:"seed"`
 	Shards   int     `json:"shards"`
 	PerLayer bool    `json:"per_layer,omitempty"`
+	// Hardening fingerprints the mitigation config installed on the network
+	// (empty for unhardened campaigns). It is part of the campaign identity:
+	// clamps change every experiment's forward pass, so a hardened and an
+	// unhardened campaign must never share checkpoints.
+	Hardening string `json:"hardening,omitempty"`
 	// Experiments is the total completed across shards (convenience).
 	Experiments int `json:"experiments"`
 	// Quarantined is the total quarantine count across shards (convenience).
@@ -146,6 +151,7 @@ func (c *Checkpoint) Matches(cfg *accel.Config, w *model.Workload, opts StudyOpt
 		c.Seed == opts.Seed &&
 		c.Shards == shards &&
 		c.PerLayer == opts.PerLayer &&
+		c.Hardening == opts.Hardening &&
 		len(c.Shard) == shards
 }
 
@@ -180,6 +186,7 @@ func NewCheckpoint(cfg *accel.Config, w *model.Workload, opts StudyOptions, shar
 		Seed:      opts.Seed,
 		Shards:    opts.shards(),
 		PerLayer:  opts.PerLayer,
+		Hardening: opts.Hardening,
 	}
 	for _, sc := range shards {
 		cp.Experiments += sc.Experiments

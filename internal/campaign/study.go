@@ -74,6 +74,15 @@ type StudyOptions struct {
 	// (the exact Eq. 2 form) instead of one network-wide aggregate. The
 	// experiment count multiplies by the number of layer executions.
 	PerLayer bool
+
+	// Hardening fingerprints the mitigation config installed on the
+	// workload's network (harden.Config.Fingerprint; empty for unhardened
+	// campaigns). It joins the checkpoint identity: clamps change every
+	// experiment's forward pass, so a hardened campaign must never resume
+	// from — or be resumed by — an unhardened one's checkpoint. It does not
+	// otherwise affect execution; installing the clamps on the network is
+	// the caller's job.
+	Hardening string
 	// CheckpointPath, when non-empty, is where the engine saves a resumable
 	// JSON checkpoint: always on cancellation, and periodically every
 	// CheckpointInterval while running (0 disables periodic saves).
@@ -467,6 +476,9 @@ func (sh *shardState) record(layer int, id faultmodel.ID, r inject.Result) {
 		if r.Replay != nil {
 			tel.RecordReplay(r.Replay.Skipped, r.Replay.Recomputed, r.Replay.RegionSwept,
 				r.Replay.ArenaReuses, r.Replay.MACsAvoided)
+		}
+		if r.Harden != nil {
+			tel.RecordHarden(r.Harden.ClampApplications, r.Harden.Saturated)
 		}
 	}
 }

@@ -1,0 +1,173 @@
+package fit
+
+import (
+	"fmt"
+	"sort"
+
+	"fidelity/internal/accel"
+)
+
+// This file plans selective duplication: re-executing the most vulnerable
+// layers redundantly (SentinelNN-style) so faults in the datapath and local
+// control FFs active during those layers are detected and corrected. The
+// ranking signal is the campaign-measured per-layer FIT contribution; the
+// cost is the duplicated execution-time share. Global control FFs are out of
+// duplication's reach — they steer the whole accelerator, not one layer's
+// computation — so meeting a tight budget usually also requires hardened
+// (e.g. DICE) global-control FFs, modeled by protectGlobal.
+
+// DuplicationChoice is one layer selected for duplication.
+type DuplicationChoice struct {
+	// Layer names the duplicated layer execution (site#visit).
+	Layer string
+	// FITRemoved is the non-global-control FIT contribution the duplication
+	// eliminates.
+	FITRemoved float64
+	// TimeShare is the layer's share of total execution time — the relative
+	// cost of re-executing it.
+	TimeShare float64
+}
+
+// DuplicationPlan is a minimal-cost selective duplication scheme.
+type DuplicationPlan struct {
+	// Choices lists the duplicated layers in selection order (highest
+	// FIT-per-time density first; name-ordered on ties for determinism).
+	Choices []DuplicationChoice
+	// BaseFIT is the FIT rate before duplication (after global-control
+	// protection when ProtectGlobal is set).
+	BaseFIT float64
+	// ResidualFIT is the FIT rate after duplication.
+	ResidualFIT float64
+	// DupTimeShare is the total execution-time share that runs twice.
+	DupTimeShare float64
+	// ProtectGlobal records whether global-control FFs were assumed hardened.
+	ProtectGlobal bool
+	// Meets reports whether ResidualFIT is under the budget.
+	Meets bool
+}
+
+// Duplicated returns the set of duplicated layer names.
+func (p *DuplicationPlan) Duplicated() []string {
+	out := make([]string, len(p.Choices))
+	for i, c := range p.Choices {
+		out[i] = c.Layer
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the plan.
+func (p *DuplicationPlan) String() string {
+	s := ""
+	for _, c := range p.Choices {
+		s += fmt.Sprintf("  duplicate %-20s removes %7.4f FIT, re-executes %5.1f%% of time\n",
+			c.Layer, c.FITRemoved, c.TimeShare*100)
+	}
+	verdict := "meets budget"
+	if !p.Meets {
+		verdict = "still over budget"
+	}
+	return fmt.Sprintf("%sresidual FIT %.4f with %.1f%% of time duplicated (%s)",
+		s, p.ResidualFIT, p.DupTimeShare*100, verdict)
+}
+
+// DuplicateLayers returns a copy of layers with Prob_SWmask forced to 1 for
+// every non-global-control category of the layers in dup — the Eq. 2 model
+// of duplicated-and-corrected execution. Global-control probabilities are
+// untouched: duplicating one layer cannot cover faults in the FFs that steer
+// the whole accelerator.
+func DuplicateLayers(layers []LayerStats, dup map[string]bool) []LayerStats {
+	out := make([]LayerStats, len(layers))
+	for i, r := range layers {
+		m := LayerStats{
+			Layer: r.Layer, ExecTime: r.ExecTime,
+			ProbInactive: r.ProbInactive,
+			ProbMasked:   r.ProbMasked,
+		}
+		if dup[r.Layer] {
+			m.ProbMasked = map[accel.Category]float64{}
+			for cat, p := range r.ProbMasked {
+				if cat.Class != accel.GlobalControl {
+					p = 1
+				}
+				m.ProbMasked[cat] = p
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// PlanDuplication greedily selects layers to duplicate — densest
+// FIT-removed-per-time-share first — until the residual FIT fits the budget.
+// protectGlobal computes the base FIT with global-control FFs hardened
+// (ComputeProtected); without it, the global-control floor alone usually
+// exceeds any ASIL-D-class budget and no amount of duplication can meet it.
+// Eq. 2 is additive per (layer, category), so removal is exactly
+// subtractive. An input already under budget returns an empty plan.
+func PlanDuplication(cfg *accel.Config, rawPerFF float64, layers []LayerStats, budget float64, protectGlobal bool) (*DuplicationPlan, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("fit: budget must be positive, got %v", budget)
+	}
+	base, err := Compute(cfg, rawPerFF, layers)
+	if err != nil {
+		return nil, err
+	}
+	if protectGlobal {
+		base, err = ComputeProtected(cfg, rawPerFF, layers)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var totalTime float64
+	for _, r := range layers {
+		totalTime += r.ExecTime
+	}
+	// Per-layer removable FIT: the non-global-control contribution, which is
+	// what duplicated execution covers.
+	scale := rawPerFF * float64(cfg.NumFFs)
+	type cand struct {
+		layer     string
+		removable float64
+		timeShare float64
+	}
+	var cands []cand
+	for _, r := range layers {
+		w := r.ExecTime / totalTime
+		var removable float64
+		for _, g := range cfg.Census {
+			if g.Cat.Class == accel.GlobalControl {
+				continue
+			}
+			removable += scale * w * g.Frac * (1 - r.ProbInactive[g.Cat]) * (1 - r.ProbMasked[g.Cat])
+		}
+		if removable > 0 {
+			cands = append(cands, cand{layer: r.Layer, removable: removable, timeShare: w})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := cands[i].removable/cands[i].timeShare, cands[j].removable/cands[j].timeShare
+		if di != dj {
+			return di > dj
+		}
+		return cands[i].layer < cands[j].layer
+	})
+
+	plan := &DuplicationPlan{BaseFIT: base.Total, ResidualFIT: base.Total, ProtectGlobal: protectGlobal}
+	for _, c := range cands {
+		if plan.ResidualFIT < budget {
+			break
+		}
+		plan.Choices = append(plan.Choices, DuplicationChoice{
+			Layer: c.layer, FITRemoved: c.removable, TimeShare: c.timeShare,
+		})
+		plan.ResidualFIT -= c.removable
+		plan.DupTimeShare += c.timeShare
+	}
+	if plan.ResidualFIT < 0 {
+		plan.ResidualFIT = 0
+	}
+	plan.Meets = plan.ResidualFIT < budget
+	return plan, nil
+}

@@ -62,6 +62,10 @@ type Result struct {
 	ByClass map[accel.FFClass]float64
 	// ByCategory splits the total per census category.
 	ByCategory map[accel.Category]float64
+	// ByLayer splits the total per layer name — the ranking signal the
+	// selective-duplication planner consumes (Eq. 2 is additive per
+	// (layer, category), so per-layer removal is exactly subtractive).
+	ByLayer map[string]float64
 }
 
 // Compute evaluates Eq. 2:
@@ -91,6 +95,7 @@ func Compute(cfg *accel.Config, rawPerFF float64, layers []LayerStats) (*Result,
 	res := &Result{
 		ByClass:    map[accel.FFClass]float64{},
 		ByCategory: map[accel.Category]float64{},
+		ByLayer:    map[string]float64{},
 	}
 	scale := rawPerFF * float64(cfg.NumFFs)
 	for _, r := range layers {
@@ -112,6 +117,7 @@ func Compute(cfg *accel.Config, rawPerFF float64, layers []LayerStats) (*Result,
 			res.Total += contrib
 			res.ByClass[g.Cat.Class] += contrib
 			res.ByCategory[g.Cat] += contrib
+			res.ByLayer[r.Layer] += contrib
 		}
 	}
 	return res, nil

@@ -71,6 +71,163 @@ func TestPlanProtectionAlreadyUnderBudget(t *testing.T) {
 	}
 }
 
+func TestPlanProtectionNegativeBudget(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	r := &Result{Total: 1, ByCategory: map[accel.Category]float64{}}
+	if _, err := PlanProtection(cfg, r, -0.5); err == nil {
+		t.Error("negative budget should fail")
+	}
+}
+
+// TestPlanProtectionEmptyResult: a result with no per-category contributions
+// (e.g. assembled from an empty campaign) yields no candidates — the plan is
+// well-formed, selects nothing, and honestly reports missing the budget.
+func TestPlanProtectionEmptyResult(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	r := &Result{Total: 5, ByCategory: map[accel.Category]float64{}}
+	plan, err := PlanProtection(cfg, r, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Choices) != 0 {
+		t.Errorf("nothing attributable should select nothing, got %+v", plan.Choices)
+	}
+	if plan.Meets || plan.ResidualFIT != 5 {
+		t.Errorf("residual must stay at the unattributed total: %+v", plan)
+	}
+}
+
+func TestPlanDuplicationValidation(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	layers := []LayerStats{uniformStats(cfg, "l#0", 1, 0, 0.5)}
+	if _, err := PlanDuplication(cfg, 1, layers, 0, true); err == nil {
+		t.Error("zero budget should fail")
+	}
+	if _, err := PlanDuplication(cfg, 1, layers, -1, true); err == nil {
+		t.Error("negative budget should fail")
+	}
+	if _, err := PlanDuplication(cfg, 1, nil, 0.2, true); err == nil {
+		t.Error("empty layer stats should fail")
+	}
+}
+
+func TestPlanDuplicationAlreadyUnderBudget(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	// Everything non-global fully masked: with global control protected the
+	// residual is zero, so no duplication is needed.
+	layers := []LayerStats{uniformStats(cfg, "l#0", 1, 0, 1)}
+	plan, err := PlanDuplication(cfg, 1, layers, 0.2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Choices) != 0 || !plan.Meets || plan.DupTimeShare != 0 {
+		t.Errorf("input already under budget should plan nothing: %+v", plan)
+	}
+}
+
+// TestPlanDuplicationGreedyAndExact: duplication picks the densest layers
+// first, accounts residuals exactly (Eq. 2 additivity), and without
+// global-control protection cannot beat the global floor.
+func TestPlanDuplicationGreedyAndExact(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	// Three layers, equal exec time, increasingly well masked: l#0 is the
+	// most vulnerable and must be duplicated first.
+	layers := []LayerStats{
+		uniformStats(cfg, "l#0", 1, 0, 0.2),
+		uniformStats(cfg, "l#1", 1, 0, 0.6),
+		uniformStats(cfg, "l#2", 1, 0, 0.9),
+	}
+	base, err := ComputeProtected(cfg, 1, layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := 0.4 * base.Total
+	plan, err := PlanDuplication(cfg, 1, layers, budget, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Meets {
+		t.Fatalf("budget is reachable by duplicating everything: %+v", plan)
+	}
+	if len(plan.Choices) == 0 || plan.Choices[0].Layer != "l#0" {
+		t.Errorf("most vulnerable layer should be duplicated first, got %+v", plan.Choices)
+	}
+	var removed float64
+	for _, c := range plan.Choices {
+		removed += c.FITRemoved
+	}
+	if diff := plan.BaseFIT - removed - plan.ResidualFIT; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("residual accounting off by %v", diff)
+	}
+	// Modeled check: recomputing Eq. 2 with the chosen layers duplicated
+	// reproduces the plan's residual (additivity makes removal exact).
+	dup := map[string]bool{}
+	for _, c := range plan.Choices {
+		dup[c.Layer] = true
+	}
+	re, err := ComputeProtected(cfg, 1, DuplicateLayers(layers, dup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := re.Total - plan.ResidualFIT; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("recomputed residual %v != planned %v", re.Total, plan.ResidualFIT)
+	}
+
+	// Without global protection the global-control floor (Prob_SWmask = 0 by
+	// construction) survives full duplication: ask for a budget below the
+	// floor and watch the plan miss it.
+	all := map[string]bool{"l#0": true, "l#1": true, "l#2": true}
+	floor, err := Compute(cfg, 1, DuplicateLayers(layers, all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.Total <= 0 {
+		t.Fatalf("global-control floor should be positive, got %v", floor.Total)
+	}
+	noGC, err := PlanDuplication(cfg, 1, layers, floor.Total/2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noGC.Meets {
+		t.Error("duplication alone cannot remove the global-control floor")
+	}
+	if noGC.ResidualFIT <= 0 {
+		t.Errorf("global floor should survive, residual = %v", noGC.ResidualFIT)
+	}
+	if plan.String() == "" || !strings.Contains(plan.String(), "residual FIT") {
+		t.Error("plan string malformed")
+	}
+}
+
+// TestDuplicateLayers: pm flips to 1 only for non-global categories of
+// duplicated layers; everything else is untouched.
+func TestDuplicateLayers(t *testing.T) {
+	cfg := accel.NVDLASmall()
+	layers := []LayerStats{
+		uniformStats(cfg, "dup#0", 1, 0, 0.3),
+		uniformStats(cfg, "keep#0", 1, 0, 0.3),
+	}
+	out := DuplicateLayers(layers, map[string]bool{"dup#0": true})
+	for _, g := range cfg.Census {
+		gc := g.Cat.Class == accel.GlobalControl
+		switch {
+		case gc && out[0].ProbMasked[g.Cat] != 0:
+			t.Errorf("duplication must not touch global control %v", g.Cat)
+		case !gc && out[0].ProbMasked[g.Cat] != 1:
+			t.Errorf("duplicated layer's %v should be fully masked", g.Cat)
+		}
+		if out[1].ProbMasked[g.Cat] != layers[1].ProbMasked[g.Cat] {
+			t.Errorf("non-duplicated layer's %v changed", g.Cat)
+		}
+	}
+	// The input must not be mutated.
+	for _, g := range cfg.Census {
+		if g.Cat.Class != accel.GlobalControl && layers[0].ProbMasked[g.Cat] != 0.3 {
+			t.Fatalf("DuplicateLayers mutated its input for %v", g.Cat)
+		}
+	}
+}
+
 func TestPlanProtectionImpossibleBudget(t *testing.T) {
 	cfg := accel.NVDLASmall()
 	// Only part of the FIT is attributable to categories; an absurdly small

@@ -1,0 +1,73 @@
+package harden
+
+import (
+	"fmt"
+	"sort"
+
+	"fidelity/internal/dataset"
+	"fidelity/internal/model"
+	"fidelity/internal/nn"
+)
+
+// Envelope is one compute site's profiled activation range: the min and max
+// output value observed across every golden forward pass of the profiling
+// inputs (all visits merged — clamps install per site, not per visit).
+type Envelope struct {
+	Site string  `json:"site"`
+	Lo   float32 `json:"lo"`
+	Hi   float32 `json:"hi"`
+}
+
+// Profile runs the workload's golden inference over inputs 0..inputs-1 —
+// the same deterministic input set a campaign with StudyOptions.Inputs =
+// inputs uses — and returns every compute site's min/max activation
+// envelope, sorted by site name. Profiling the exact campaign input set is
+// what makes the clamps the identity on every campaign golden trace: each
+// golden activation is inside its own envelope by construction.
+//
+// The workload must be unhardened: profiling through installed clamps would
+// measure the clamped range, not the golden one.
+func Profile(w *model.Workload, inputs int) ([]Envelope, error) {
+	if w.Net.Hardened() {
+		return nil, fmt.Errorf("harden: cannot profile a hardened network (clamps already installed)")
+	}
+	if inputs <= 0 {
+		return nil, fmt.Errorf("harden: inputs must be positive, got %d", inputs)
+	}
+	env := map[string]*Envelope{}
+	for idx := 0; idx < inputs; idx++ {
+		x, err := dataset.Sample(w.Dataset, idx)
+		if err != nil {
+			return nil, err
+		}
+		w.Net.ForwardWithHook(x, func(site nn.Layer, _ int, op *nn.Operands) {
+			s, ok := site.(nn.Site)
+			if !ok {
+				return
+			}
+			e := env[s.Name()]
+			if e == nil {
+				d := op.Out.Data()
+				e = &Envelope{Site: s.Name(), Lo: d[0], Hi: d[0]}
+				env[s.Name()] = e
+			}
+			for _, v := range op.Out.Data() {
+				if v < e.Lo {
+					e.Lo = v
+				}
+				if v > e.Hi {
+					e.Hi = v
+				}
+			}
+		})
+	}
+	if len(env) == 0 {
+		return nil, fmt.Errorf("harden: workload %s has no compute sites to profile", w.Net.Name())
+	}
+	out := make([]Envelope, 0, len(env))
+	for _, e := range env {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out, nil
+}

@@ -75,6 +75,18 @@ type ReplayCost struct {
 	ArenaReuses int64
 }
 
+// HardenCost reports what range-restriction clamping did during one
+// experiment's forward pass. Nil for unhardened networks and for
+// global-control shortcuts that run no forward pass.
+type HardenCost struct {
+	// ClampApplications counts site executions whose output was
+	// bounds-checked.
+	ClampApplications int64
+	// Saturated counts individual output values forced back into the
+	// profiled envelope.
+	Saturated int64
+}
+
 // Result records one experiment.
 type Result struct {
 	Outcome Outcome
@@ -91,6 +103,10 @@ type Result struct {
 	// Replay carries the replay engine's per-experiment savings, nil when
 	// the experiment ran the full forward pass.
 	Replay *ReplayCost
+	// Harden carries the clamp counters of a hardened network's forward
+	// pass, nil otherwise. Like Replay, it is run-cost telemetry, not part
+	// of the experiment outcome.
+	Harden *HardenCost
 }
 
 // Injector runs fault-injection experiments against one workload.
@@ -357,6 +373,10 @@ func (in *Injector) run(ctx context.Context, id faultmodel.ID, tol float64, exec
 	} else {
 		fctx = nn.NewContext(hook)
 		out = in.W.Net.ForwardWithContext(in.input, fctx)
+	}
+	if in.W.Net.Hardened() {
+		hs := fctx.HardenStats()
+		res.Harden = &HardenCost{ClampApplications: hs.ClampApplications, Saturated: hs.Saturated}
 	}
 	if planErr != nil {
 		return Result{}, planErr

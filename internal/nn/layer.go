@@ -149,6 +149,12 @@ type Context struct {
 	// disables the sweep (see SetRegionSweep).
 	spans    map[*tensor.Tensor]span
 	noRegion bool
+
+	// clamps holds the per-site range-restriction envelopes of a hardened
+	// network (see clamp.go). Installed by Network.instrument; read-only
+	// during a pass. hstats counts what clamping did.
+	clamps map[Layer]Bound
+	hstats HardenStats
 }
 
 // NewContext builds a context that invokes hook at every compute site.

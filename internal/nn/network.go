@@ -20,6 +20,11 @@ type Network struct {
 	Codec numerics.Codec
 
 	sites []Site
+
+	// clamps holds the installed range-restriction envelopes (see clamp.go).
+	// Written only by SetClamp/ClearClamps during hardening setup; read-only
+	// once forward passes start, so concurrent workers may share the network.
+	clamps map[Layer]Bound
 }
 
 // NewNetwork wraps a layer graph.
@@ -49,21 +54,52 @@ func (n *Network) SiteByName(name string) (Site, error) {
 	return nil, fmt.Errorf("nn: network %s has no site %q", n.NetName, name)
 }
 
+// SetClamp installs a range-restriction envelope on one compute site. Call
+// only during hardening setup, before any forward pass runs; envelopes are
+// read-only afterwards so concurrent workers can share the network.
+func (n *Network) SetClamp(s Site, b Bound) {
+	if n.clamps == nil {
+		n.clamps = map[Layer]Bound{}
+	}
+	n.clamps[s] = b
+}
+
+// ClearClamps removes every installed envelope.
+func (n *Network) ClearClamps() { n.clamps = nil }
+
+// Hardened reports whether any range-restriction envelope is installed.
+func (n *Network) Hardened() bool { return len(n.clamps) > 0 }
+
+// instrument threads the installed clamp set into ctx so every execution
+// path (plain, record, replay) applies the envelopes. An unhardened network
+// passes ctx through untouched; a hardened one materializes a context even
+// for plain forward passes.
+func (n *Network) instrument(ctx *Context) *Context {
+	if len(n.clamps) == 0 {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = NewContext(nil)
+	}
+	ctx.clamps = n.clamps
+	return ctx
+}
+
 // Forward runs a clean inference.
 func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return n.Root.Forward(x, nil)
+	return n.Root.Forward(x, n.instrument(nil))
 }
 
 // ForwardWithHook runs an inference with an injection hook installed at all
 // compute sites.
 func (n *Network) ForwardWithHook(x *tensor.Tensor, hook Hook) *tensor.Tensor {
-	return n.Root.Forward(x, NewContext(hook))
+	return n.Root.Forward(x, n.instrument(NewContext(hook)))
 }
 
 // ForwardWithContext runs an inference through an explicit context — used by
 // the replay engine, which reuses record/replay contexts across passes.
 func (n *Network) ForwardWithContext(x *tensor.Tensor, ctx *Context) *tensor.Tensor {
-	return n.Root.Forward(x, ctx)
+	return n.Root.Forward(x, n.instrument(ctx))
 }
 
 // SiteExecution captures one execution of a site during a forward pass:
@@ -130,6 +166,6 @@ func (n *Network) TraceWithActivations(x *tensor.Tensor) (*tensor.Tensor, []Site
 		execs = append(execs, e)
 	})
 	trace.MarkGolden(x)
-	out := n.Root.Forward(x, ctx)
+	out := n.Root.Forward(x, n.instrument(ctx))
 	return out, execs, trace
 }

@@ -214,6 +214,7 @@ func (c *Context) SetTarget(site Layer, visit int, hook Hook) {
 	clear(c.glueVisits)
 	clear(c.spans)
 	c.stats = ReplayStats{}
+	c.hstats = HardenStats{}
 }
 
 // Stats returns the counters of the last replayed pass.
@@ -249,14 +250,20 @@ type seedFn func(out *tensor.Tensor) *Operands
 // builds the operand set without computing. in lists the input tensors the
 // execution reads, for the dirty test.
 func (c *Context) exec(l Layer, compute func() *tensor.Tensor, seed seedFn, in ...*tensor.Tensor) *tensor.Tensor {
-	if c == nil || c.mode == ctxPlain {
+	if c == nil {
 		return compute()
+	}
+	if c.mode == ctxPlain {
+		out := compute()
+		c.clampSite(l, out)
+		return out
 	}
 	v := c.execVisits[l]
 	c.execVisits[l] = v + 1
 	key := execKey{layer: l, visit: v}
 	if c.mode == ctxRecord {
 		out := compute()
+		c.clampSite(l, out)
 		c.trace.put(key, out)
 		return out
 	}
@@ -264,7 +271,9 @@ func (c *Context) exec(l Layer, compute func() *tensor.Tensor, seed seedFn, in .
 	if !ok {
 		// Unrecorded execution (shouldn't happen for a trace of the same
 		// input): fall back to computing it.
-		return compute()
+		out := compute()
+		c.clampSite(l, out)
+		return out
 	}
 	if !c.injected {
 		if l == c.target && v == c.targetVisit {
@@ -281,12 +290,14 @@ func (c *Context) exec(l Layer, compute func() *tensor.Tensor, seed seedFn, in .
 				c.pendingFire = true
 				c.fire(l, op)
 				c.pendingFire = false
+				c.clampSite(l, out)
 				return c.canonicalize(out, golden)
 			}
 			c.pendingVisit = v
 			c.pendingFire = true
 			out := compute()
 			c.pendingFire = false
+			c.clampSite(l, out)
 			return c.canonicalize(out, golden)
 		}
 		// Before the target everything is golden by construction.
@@ -305,6 +316,7 @@ func (c *Context) exec(l Layer, compute func() *tensor.Tensor, seed seedFn, in .
 	}
 	out := compute()
 	c.stats.Recomputed++
+	c.clampSite(l, out)
 	return c.canonicalize(out, golden)
 }
 
@@ -334,6 +346,11 @@ func (c *Context) regionExec(l Layer, key execKey, golden *tensor.Tensor, in []*
 	}
 	c.stats.Recomputed++
 	c.stats.RegionSwept++
+	// Clamp before the diff scan: saturation can restore golden equality
+	// (converging the pass early), and the recorded span must bound the
+	// final, post-clamp tensor. Outside the recomputed box the data is a
+	// golden copy, on which the clamp is the identity.
+	c.clampSite(l, out)
 	var nsp span
 	var equal bool
 	if out.Rank() == 4 && oy1 > oy0 {

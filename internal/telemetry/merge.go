@@ -26,7 +26,8 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 	var bat BatchSnapshot
 	var ker KernelSnapshot
 	var aud AuditSnapshot
-	haveRec, haveRep, haveBat, haveKer, haveAud := false, false, false, false, false
+	var har HardenSnapshot
+	haveRec, haveRep, haveBat, haveKer, haveAud, haveHar := false, false, false, false, false, false
 	for _, s := range snaps {
 		if s.Source != "" {
 			sources[s.Source] = true
@@ -92,6 +93,17 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 			haveKer = true
 			ker.Tiles += k.Tiles
 		}
+		if h := s.Harden; h != nil {
+			haveHar = true
+			har.ClampApplications += h.ClampApplications
+			har.SaturatedValues += h.SaturatedValues
+			// DuplicatedSites is configuration state shared by every
+			// constituent of one hardened campaign, not a running tally:
+			// keep the maximum rather than summing.
+			if h.DuplicatedSites > har.DuplicatedSites {
+				har.DuplicatedSites = h.DuplicatedSites
+			}
+		}
 		// Strata is planner state, not a counter: every constituent carrying
 		// it saw the same barrier sequence, so keep the most advanced view
 		// rather than summing.
@@ -144,6 +156,9 @@ func Merge(source string, snaps ...Snapshot) Snapshot {
 	}
 	if haveKer {
 		m.Kernels = &ker
+	}
+	if haveHar {
+		m.Harden = &har
 	}
 	if haveAud {
 		sort.Slice(aud.Failures, func(i, j int) bool { return aud.Failures[i].Shard < aud.Failures[j].Shard })

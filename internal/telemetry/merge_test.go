@@ -105,6 +105,37 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeHarden: harden telemetry merges by summing clamp activity and
+// taking the maximum duplicated-site count — duplication is config state every
+// worker reports identically, not a running tally.
+func TestMergeHarden(t *testing.T) {
+	a := Snapshot{
+		Source: "w1",
+		Harden: &HardenSnapshot{ClampApplications: 100, SaturatedValues: 7, DuplicatedSites: 3},
+	}
+	b := Snapshot{
+		Source: "w2",
+		Harden: &HardenSnapshot{ClampApplications: 40, SaturatedValues: 2, DuplicatedSites: 3},
+	}
+
+	m := Merge("coordinator", a, b)
+	if m.Harden == nil {
+		t.Fatal("merged snapshot dropped the harden block")
+	}
+	if m.Harden.ClampApplications != 140 || m.Harden.SaturatedValues != 9 {
+		t.Errorf("merged clamp counters = %+v, want sums 140/9", m.Harden)
+	}
+	if m.Harden.DuplicatedSites != 3 {
+		t.Errorf("merged duplicated sites = %d, want max 3, not a sum", m.Harden.DuplicatedSites)
+	}
+
+	// Unhardened snapshots merge to no harden block — the field is evidence
+	// of hardening, not a default.
+	if plain := Merge("all", Snapshot{Source: "x"}, Snapshot{Source: "y"}); plain.Harden != nil {
+		t.Errorf("harden block materialized from nothing: %+v", plain.Harden)
+	}
+}
+
 // TestMergeAudit: audit telemetry from multiple sources merges by summing the
 // counters and concatenating the failure records sorted by shard, and
 // corrupt-artifact counts sum alongside the rest of recovery.

@@ -59,6 +59,11 @@ type Collector struct {
 	// Conv2D/Dense/MatMul kernels during the campaign's inject phase.
 	kernelTiles atomic.Int64
 
+	// Harden counters: range-restriction clamp activity on a hardened
+	// network (clamp.go), plus the installed duplicated-site count.
+	clampApplications, clampSaturated atomic.Int64
+	duplicatedSites                   atomic.Int64
+
 	// strata is the adaptive campaign's latest per-stratum view, replaced
 	// wholesale at each shard-barrier round by the planner (SetStrata). Nil
 	// for fixed-count campaigns.
@@ -179,6 +184,20 @@ func (c *Collector) RecordBatch(groups, experiments int) {
 // AddKernelTiles accumulates compute-kernel tile executions (from the tiled
 // Conv2D/Dense/MatMul kernels) attributed to this collector's campaign.
 func (c *Collector) AddKernelTiles(n int64) { c.kernelTiles.Add(n) }
+
+// RecordHarden accumulates one experiment's range-restriction clamp
+// activity: site executions bounds-checked and values saturated back into
+// the profiled envelope. Not called for unhardened networks, so their
+// snapshots carry no Harden block.
+func (c *Collector) RecordHarden(applications, saturated int64) {
+	c.clampApplications.Add(applications)
+	c.clampSaturated.Add(saturated)
+}
+
+// SetDuplicatedSites publishes the number of sites marked for selective
+// duplication in the hardening config under study. It is configuration
+// state, not a running tally, so merges keep the maximum rather than sum.
+func (c *Collector) SetDuplicatedSites(n int) { c.duplicatedSites.Store(int64(n)) }
 
 // SetShardBudget publishes one shard's failure-budget state: quarantines
 // charged so far, the budget limit (negative = unlimited), and whether the
@@ -331,6 +350,22 @@ type KernelSnapshot struct {
 	Tiles int64 `json:"tiles"`
 }
 
+// HardenSnapshot reports a hardened campaign's range-restriction and
+// duplication state: cumulative clamp activity plus the configured
+// duplicated-site count.
+type HardenSnapshot struct {
+	// ClampApplications counts site executions whose output was
+	// bounds-checked.
+	ClampApplications int64 `json:"clamp_applications"`
+	// SaturatedValues counts individual values forced back into the
+	// profiled envelope (zero on clean data).
+	SaturatedValues int64 `json:"saturated_values"`
+	// DuplicatedSites is the number of sites marked for selective
+	// duplication in the hardening config (configuration state: merged by
+	// max, not summed).
+	DuplicatedSites int64 `json:"duplicated_sites,omitempty"`
+}
+
 // StratumState is one adaptive-sampling stratum's view at a round barrier:
 // its merged tally across all shards, the resulting Wilson interval, and
 // whether the planner has stopped allocating to it.
@@ -401,6 +436,9 @@ type Snapshot struct {
 	// Kernels is present only when kernel tile counts were attributed to
 	// this collector.
 	Kernels *KernelSnapshot `json:"kernels,omitempty"`
+	// Harden is present only on hardened campaigns (clamps installed or
+	// sites duplicated); unhardened snapshots are unchanged.
+	Harden *HardenSnapshot `json:"harden,omitempty"`
 	// Strata is present only on adaptive campaigns (StudyOptions.TargetCI >
 	// 0): the per-stratum state as of the most recent planning round.
 	Strata *StrataSnapshot `json:"strata,omitempty"`
@@ -481,6 +519,10 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	if tiles := c.kernelTiles.Load(); tiles > 0 {
 		s.Kernels = &KernelSnapshot{Tiles: tiles}
+	}
+	apps, sat, dup := c.clampApplications.Load(), c.clampSaturated.Load(), c.duplicatedSites.Load()
+	if apps > 0 || sat > 0 || dup > 0 {
+		s.Harden = &HardenSnapshot{ClampApplications: apps, SaturatedValues: sat, DuplicatedSites: dup}
 	}
 	c.strataMu.Lock()
 	if st := c.strata; st != nil {
